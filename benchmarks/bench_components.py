@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate components.
+
+These time the building blocks the experiments are made of — graph metric
+construction, each forecaster's forward+backward step, DTW's all-pairs
+dynamic program — so performance regressions in the substrate are visible
+independently of the (slow) table regenerations.
+"""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.autodiff import Tensor, mse
+from repro.graphs import (correlation_adjacency, dtw_adjacency,
+                          euclidean_adjacency, knn_adjacency, sparsify)
+from repro.models import create_model
+
+V, L, S, T = 26, 5, 100, 140
+
+
+@pytest.fixture(scope="module")
+def series():
+    return np.random.default_rng(0).standard_normal((T, V))
+
+
+@pytest.fixture(scope="module")
+def training_batch():
+    rng = np.random.default_rng(1)
+    return (rng.standard_normal((S, L, V)).astype(np.float32),
+            rng.standard_normal((S, V)).astype(np.float32))
+
+
+@pytest.fixture(scope="module")
+def adjacency(series):
+    return correlation_adjacency(series)
+
+
+class TestGraphConstruction:
+    def test_euclidean(self, benchmark, series):
+        benchmark(euclidean_adjacency, series)
+
+    def test_knn(self, benchmark, series):
+        benchmark(knn_adjacency, series, 5)
+
+    def test_correlation(self, benchmark, series):
+        benchmark(correlation_adjacency, series)
+
+    def test_dtw_banded(self, benchmark, series):
+        benchmark(dtw_adjacency, series, 10)
+
+    def test_sparsify(self, benchmark, adjacency):
+        benchmark(sparsify, adjacency, 0.2)
+
+
+class TestModelSteps:
+    """One full-batch forward+backward per model (float32, paper sizes)."""
+
+    @pytest.mark.parametrize("name", ["lstm", "a3tgcn", "astgcn", "mtgnn"])
+    def test_train_step(self, benchmark, name, training_batch, adjacency):
+        ad.set_default_dtype(np.float32)
+        try:
+            x, y = training_batch
+            model = create_model(name, V, L, adjacency=adjacency, seed=0)
+
+            def step():
+                model.zero_grad()
+                loss = mse(model(Tensor(x)), y)
+                loss.backward()
+                return loss.item()
+
+            benchmark(step)
+        finally:
+            ad.set_default_dtype(np.float64)
+
+    @pytest.mark.parametrize("name", ["lstm", "a3tgcn", "astgcn", "mtgnn"])
+    def test_inference(self, benchmark, name, training_batch, adjacency):
+        ad.set_default_dtype(np.float32)
+        try:
+            x, _ = training_batch
+            model = create_model(name, V, L, adjacency=adjacency, seed=0)
+            benchmark(model.predict, x)
+        finally:
+            ad.set_default_dtype(np.float64)

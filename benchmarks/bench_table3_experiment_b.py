@@ -1,0 +1,45 @@
+"""Benchmark / regeneration of Table III (Experiment B).
+
+Runs the graph-structure/sparsity grid — the three GNNs x {EUC, DTW, kNN,
+CORR, RAND} x GDT {20, 40, 100 %} on Seq5 — and prints the paper-style
+table.  Asserted shape:
+
+* random graphs are the worst condition for ASTGCN (the paper's "biggest
+  change ... moving to 1.06 when using a random graph");
+* MTGNN is insensitive to the input graph: its random-graph score stays
+  close to its best static-graph score (graph learning repairs the input).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment_b
+
+
+def test_table3_regeneration(benchmark, cohort, experiment_config):
+    out = benchmark.pedantic(run_experiment_b, args=(cohort, experiment_config),
+                             rounds=1, iterations=1)
+    print("\n" + out.render())
+    rows = out.rows
+    columns = list(out.columns)
+
+    def family(prefix, metric):
+        return min(rows[f"{prefix}_{metric}"][c].mean for c in columns)
+
+    static_metrics = ("EUC", "DTW", "kNN", "CORR")
+    astgcn_static = min(family("ASTGCN", m) for m in static_metrics)
+    astgcn_random = family("ASTGCN", "RAND")
+    a3tgcn_static = min(family("A3TGCN", m) for m in static_metrics)
+    a3tgcn_random = family("A3TGCN", "RAND")
+    mtgnn_all = [rows[f"MTGNN_{m}"][c].mean
+                 for m in static_metrics + ("RAND",) for c in columns]
+
+    print(f"\nASTGCN static-best={astgcn_static:.3f} random={astgcn_random:.3f}")
+    print(f"A3TGCN static-best={a3tgcn_static:.3f} random={a3tgcn_random:.3f}")
+    print(f"MTGNN  spread across all graph conditions: "
+          f"{min(mtgnn_all):.3f}-{max(mtgnn_all):.3f}")
+    # Random (uninformative) graphs never help the graph-dependent models.
+    assert astgcn_random >= astgcn_static - 0.01
+    assert a3tgcn_random >= a3tgcn_static - 0.01
+    # MTGNN is insensitive to the input graph condition — its learner
+    # overrides it (the paper's 0.838-0.851 band across all of Table III).
+    assert max(mtgnn_all) - min(mtgnn_all) < 0.08

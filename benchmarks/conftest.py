@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper at the
+``tiny`` profile by default (complete pipeline, minutes of wall clock).
+Set ``REPRO_BENCH_PROFILE=small`` or ``=paper`` to scale up; EXPERIMENTS.md
+records the observed outputs at each scale.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import PROFILES, make_dataset
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    name = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+    if name not in PROFILES:
+        raise ValueError(f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}")
+    return PROFILES[name]
+
+
+@pytest.fixture(scope="session")
+def cohort(experiment_config):
+    return make_dataset(experiment_config)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Cohort anatomy: what the synthetic EMA data looks like.
+
+Shows the data substrate in detail — raw Likert responses, compliance and
+missingness, the preprocessing pipeline's filtering decisions, per-variable
+statistics, temporal autocorrelation (the "emotional inertia" signal), and
+how well the similarity graphs recover each individual's ground-truth
+interaction structure.
+
+Run:  python examples/cohort_anatomy.py
+"""
+
+import numpy as np
+
+from repro.data import (LOW_VARIANCE_NAMES, PreprocessingPipeline,
+                        SynthesisConfig, generate_cohort)
+from repro.graphs import correlation_adjacency, graph_correlation
+
+
+def main() -> None:
+    config = SynthesisConfig(num_individuals=40, seed=2024)
+    raw = generate_cohort(config)
+    print("=== raw cohort (before preprocessing) ===")
+    for key, value in raw.summary().items():
+        print(f"  {key}: {value}")
+    print(f"  scheduled beeps per person: {config.scheduled_beeps} "
+          f"({config.num_days} days x {config.beeps_per_day}/day)")
+
+    person = raw[0]
+    print(f"\nfirst 5 answered beeps of {person.identifier} "
+          f"(Likert 1-7, first 8 items):")
+    for row in person.values[:5, :8]:
+        print("  " + "  ".join(f"{int(v)}" for v in row))
+    rare_idx = [person.variable_names.index(n) for n in LOW_VARIANCE_NAMES]
+    print(f"rare-symptom items std: "
+          + ", ".join(f"{person.variable_names[i]}={person.values[:, i].std():.2f}"
+                      for i in rare_idx))
+
+    print("\n=== preprocessing (paper section IV) ===")
+    clean, report = PreprocessingPipeline(min_compliance=0.5,
+                                          max_individuals=10).run(raw)
+    print(f"  {report}")
+    for key, value in clean.summary().items():
+        print(f"  {key}: {value}")
+
+    print("\n=== signal anatomy (per kept individual) ===")
+    print(f"{'id':6s} {'T':>4s} {'lag-1 autocorr':>15s} {'graph recovery':>15s}")
+    for ind in clean:
+        values = ind.values
+        autocorr = np.mean([np.corrcoef(values[:-1, j], values[1:, j])[0, 1]
+                            for j in range(values.shape[1])])
+        recovery = graph_correlation(correlation_adjacency(values),
+                                     ind.ground_truth_graph)
+        print(f"{ind.identifier:6s} {ind.num_time_points:4d} "
+              f"{autocorr:15.2f} {recovery:15.2f}")
+
+    print("\nEmotional inertia (positive lag-1 autocorrelation) is what the "
+          "forecasters exploit;\nthe correlation graph partially recovers each "
+          "individual's true interaction structure,\nwhich is why "
+          "similarity-based graphs help the GNNs (paper sections III-D, VI).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: forecast one synthetic participant's EMA variables.
+
+Walks the whole public API end to end:
+
+1. generate a synthetic EMA cohort and preprocess it (compliance filter,
+   low-variance filter, per-individual normalization);
+2. build the participant's correlation graph from the training segment;
+3. train MTGNN (graph learning warm-started from that graph) on the first
+   70 % of the recording;
+4. evaluate 1-lag forecasts on the last 30 % and compare against the naive
+   mean predictor and an LSTM baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.autodiff as ad
+from repro.data import PreprocessingPipeline, SynthesisConfig, generate_cohort, split_windows
+from repro.graphs import build_adjacency, summarize
+from repro.models import create_model
+from repro.training import Trainer, TrainerConfig
+
+ad.set_default_dtype(np.float32)  # 2x faster; float64 is the strict default
+
+SEQ_LEN = 5
+
+
+def main() -> None:
+    # 1. Data -----------------------------------------------------------
+    raw = generate_cohort(SynthesisConfig(num_individuals=10, seed=7))
+    cohort, report = PreprocessingPipeline(min_compliance=0.5,
+                                           max_individuals=3).run(raw)
+    print(f"preprocessing: {report}")
+    participant = cohort[0]
+    print(f"participant {participant.identifier}: "
+          f"{participant.num_time_points} time points x "
+          f"{participant.num_variables} variables "
+          f"(compliance {participant.compliance:.0%})")
+
+    # 2. Graph ----------------------------------------------------------
+    split = split_windows(participant.values, SEQ_LEN, train_fraction=0.7)
+    train_segment = participant.values[:split.boundary]
+    graph = build_adjacency(train_segment, "correlation", keep_fraction=0.2)
+    print(f"correlation graph (GDT=20%): {summarize(graph)}")
+
+    # 3. Train ----------------------------------------------------------
+    trainer = Trainer(TrainerConfig(epochs=60))
+    scores = {}
+    for name in ("lstm", "mtgnn"):
+        model = create_model(name, participant.num_variables, SEQ_LEN,
+                             adjacency=graph, seed=1)
+        history = trainer.fit(model, split.train)
+        scores[name] = Trainer.evaluate(model, split.test)
+        print(f"{name}: train loss {history.losses[0]:.3f} -> "
+              f"{history.final_loss:.3f} over {history.epochs} epochs")
+
+    # 4. Compare --------------------------------------------------------
+    naive = float(np.mean(split.test.targets.astype(np.float64) ** 2))
+    print("\n1-lag test MSE (lower is better):")
+    print(f"  naive mean predictor : {naive:.3f}")
+    print(f"  LSTM baseline        : {scores['lstm']:.3f}")
+    print(f"  MTGNN (graph learned): {scores['mtgnn']:.3f}")
+    if scores["mtgnn"] < scores["lstm"]:
+        print("MTGNN beats the LSTM baseline — the paper's headline result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The environment has setuptools but no ``wheel`` package (offline), so PEP 660
+editable installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` use the legacy
+``setup.py develop`` path, which needs only setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

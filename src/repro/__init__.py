@@ -1,0 +1,17 @@
+"""repro — reproduction of "Exploiting Individual Graph Structures to
+Enhance Ecological Momentary Assessment (EMA) Forecasting" (ICDE 2024).
+
+The package is layered bottom-up:
+
+* :mod:`repro.autodiff` — reverse-mode autodiff on numpy (PyTorch substitute)
+* :mod:`repro.nn` / :mod:`repro.optim` — layers and optimizers
+* :mod:`repro.graphs` — similarity-based / random / learned graph construction
+* :mod:`repro.data` — synthetic EMA cohort + preprocessing + windowing
+* :mod:`repro.models` — LSTM, A3TGCN, ASTGCN, MTGNN forecasters
+* :mod:`repro.training` / :mod:`repro.evaluation` — personalized training, MSE
+* :mod:`repro.experiments` — Experiments A/B/C (Table II, Table III, Fig. 3)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

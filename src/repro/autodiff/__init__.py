@@ -1,0 +1,35 @@
+"""Reverse-mode autodiff engine (the repo's PyTorch substitute).
+
+Public surface:
+
+* :class:`Tensor` — numpy array with gradient tracking
+* :func:`no_grad` — disable graph construction
+* :func:`concat` / :func:`stack` / :func:`where` — multi-input graph ops
+* :mod:`repro.autodiff.functional` — softmax, losses, adjacency normalizer
+* :func:`check_gradients` — finite-difference verification
+"""
+
+from .tensor import (Tensor, as_tensor, concat, get_default_dtype,
+                     is_grad_enabled, no_grad, set_default_dtype, stack, where)
+from .functional import huber, log_softmax, mae, mse, normalize_adjacency, softmax
+from .gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "softmax",
+    "log_softmax",
+    "mse",
+    "mae",
+    "huber",
+    "normalize_adjacency",
+    "check_gradients",
+    "numerical_gradient",
+]

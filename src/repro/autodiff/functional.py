@@ -1,0 +1,85 @@
+"""Composite differentiable functions built on :class:`repro.autodiff.Tensor`.
+
+These are the numerically-careful building blocks the attention and loss
+layers use: softmax with max-subtraction, mean-squared error matching the
+paper's equation (1), etc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["softmax", "log_softmax", "mse", "mae", "huber", "normalize_adjacency"]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the standard max-shift for stability.
+
+    The shift is treated as a constant (detached), which leaves the gradient
+    exact because softmax is shift-invariant.
+    """
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (numerically stable)."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def mse(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over every element.
+
+    This is exactly the inner part of the paper's equation (1): summed
+    squared error divided by the total number of (time, variable) cells.
+    """
+    target = as_tensor(target)
+    diff = prediction - Tensor(target.data.astype(prediction.dtype, copy=False))
+    return (diff * diff).mean()
+
+
+def mae(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean absolute error over every element."""
+    target = as_tensor(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def huber(prediction: Tensor, target: Tensor | np.ndarray, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta`` of the target, linear outside."""
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    abs_diff = diff.abs()
+    quadratic = diff * diff * 0.5
+    linear = abs_diff * delta - 0.5 * delta * delta
+    from .tensor import where
+
+    return where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def normalize_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetrically normalize a (non-negative) adjacency matrix.
+
+    Computes ``D^{-1/2} (A + I) D^{-1/2}`` — the propagation operator used
+    by GCN-style layers.  Isolated nodes get a zero row rather than NaN.
+    This is a plain-numpy helper (graph matrices are treated as constants
+    by every model except MTGNN's learned graph, which normalizes inside
+    the autodiff graph).
+    """
+    a = np.asarray(adjacency, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {a.shape}")
+    if (a < 0).any():
+        raise ValueError("adjacency entries must be non-negative")
+    if add_self_loops:
+        a = a + np.eye(a.shape[0])
+    degree = a.sum(axis=1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degree)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    from .tensor import get_default_dtype
+
+    return ((a * inv_sqrt[:, None]) * inv_sqrt[None, :]).astype(get_default_dtype())

@@ -1,0 +1,27 @@
+"""EMA data substrate: containers, synthetic cohort, preprocessing, windowing."""
+
+from .containers import EMADataset, Individual
+from .imputation import (forward_fill, linear_interpolate, mean_impute,
+                         simulate_missingness)
+from .io import load_npz, read_long_csv, save_npz, write_long_csv
+from .likert import LIKERT_MAX, LIKERT_MIN, quantize_to_likert, zscore_per_variable
+from .preprocessing import (PreprocessingPipeline, PreprocessingReport,
+                            filter_compliance, normalize_dataset,
+                            shared_high_variance_variables)
+from .splits import TrainTestWindows, split_windows
+from .synthesis import (DEFAULT_VARIABLE_NAMES, LOW_VARIANCE_NAMES,
+                        SynthesisConfig, generate_cohort, generate_individual)
+from .windows import WindowSet, make_windows
+
+__all__ = [
+    "EMADataset", "Individual",
+    "save_npz", "load_npz", "write_long_csv", "read_long_csv",
+    "forward_fill", "mean_impute", "linear_interpolate", "simulate_missingness",
+    "quantize_to_likert", "zscore_per_variable", "LIKERT_MIN", "LIKERT_MAX",
+    "PreprocessingPipeline", "PreprocessingReport",
+    "filter_compliance", "normalize_dataset", "shared_high_variance_variables",
+    "TrainTestWindows", "split_windows",
+    "SynthesisConfig", "generate_cohort", "generate_individual",
+    "DEFAULT_VARIABLE_NAMES", "LOW_VARIANCE_NAMES",
+    "WindowSet", "make_windows",
+]

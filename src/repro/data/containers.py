@@ -1,0 +1,127 @@
+"""Data containers for EMA cohorts.
+
+An :class:`Individual` is one participant's multivariate time series
+(``values`` with time on axis 0, variables on axis 1) plus bookkeeping; an
+:class:`EMADataset` is the cohort ``X = {X_1, ..., X_N}`` of the paper's
+section III-A, with all individuals sharing one variable set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Individual", "EMADataset"]
+
+
+@dataclass
+class Individual:
+    """One participant's EMA recording.
+
+    Attributes
+    ----------
+    identifier:
+        Stable participant id (e.g. ``"p007"``).
+    values:
+        ``(T_i, V)`` float array; time points on axis 0.
+    variable_names:
+        Length-``V`` labels (shared across a dataset).
+    compliance:
+        Fraction of scheduled questionnaires that were answered.
+    ground_truth_graph:
+        The generator's true variable-interaction matrix, when the
+        individual is synthetic (used only for diagnostics, never by models).
+    """
+
+    identifier: str
+    values: np.ndarray
+    variable_names: tuple[str, ...]
+    compliance: float = 1.0
+    ground_truth_graph: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be (time, variables), got {self.values.shape}")
+        if self.values.shape[1] != len(self.variable_names):
+            raise ValueError(
+                f"{self.values.shape[1]} columns but {len(self.variable_names)} names")
+        if not 0.0 <= self.compliance <= 1.0:
+            raise ValueError(f"compliance must be in [0, 1], got {self.compliance}")
+        self.variable_names = tuple(self.variable_names)
+
+    @property
+    def num_time_points(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_variables(self) -> int:
+        return self.values.shape[1]
+
+    def select_variables(self, indices: Sequence[int]) -> "Individual":
+        """New individual restricted to the given variable columns."""
+        indices = list(indices)
+        return Individual(
+            identifier=self.identifier,
+            values=self.values[:, indices].copy(),
+            variable_names=tuple(self.variable_names[i] for i in indices),
+            compliance=self.compliance,
+            ground_truth_graph=(self.ground_truth_graph[np.ix_(indices, indices)].copy()
+                                if self.ground_truth_graph is not None else None),
+        )
+
+    def with_values(self, values: np.ndarray) -> "Individual":
+        """New individual with replaced values (same metadata)."""
+        return Individual(
+            identifier=self.identifier,
+            values=values,
+            variable_names=self.variable_names,
+            compliance=self.compliance,
+            ground_truth_graph=self.ground_truth_graph,
+        )
+
+
+@dataclass
+class EMADataset:
+    """A cohort of individuals sharing one variable set."""
+
+    individuals: list[Individual] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = {ind.variable_names for ind in self.individuals}
+        if len(names) > 1:
+            raise ValueError("all individuals must share the same variable set")
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        if not self.individuals:
+            return ()
+        return self.individuals[0].variable_names
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variable_names)
+
+    def __len__(self) -> int:
+        return len(self.individuals)
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self.individuals)
+
+    def __getitem__(self, index: int) -> Individual:
+        return self.individuals[index]
+
+    def summary(self) -> dict[str, float]:
+        """Cohort statistics in the shape the paper reports (section IV)."""
+        lengths = [ind.num_time_points for ind in self.individuals]
+        return {
+            "individuals": len(self.individuals),
+            "variables": self.num_variables,
+            "mean_time_points": float(np.mean(lengths)) if lengths else 0.0,
+            "min_time_points": int(min(lengths)) if lengths else 0,
+            "max_time_points": int(max(lengths)) if lengths else 0,
+            "mean_compliance": float(np.mean([i.compliance for i in self.individuals]))
+            if self.individuals else 0.0,
+        }

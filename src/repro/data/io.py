@@ -1,0 +1,121 @@
+"""Dataset persistence and interchange.
+
+Two formats:
+
+* **NPZ** — lossless round-trip of an :class:`EMADataset` (values,
+  compliance, ground-truth graphs when present) for caching generated
+  cohorts between runs.
+* **Long-format CSV** — the lingua franca of real EMA studies: one row per
+  (participant, beep, item) observation with columns
+  ``participant,beep,item,value``.  Importing real EMA exports through
+  :func:`read_long_csv` drops them straight into the preprocessing
+  pipeline, which is the path an adopting lab would actually use.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from .containers import EMADataset, Individual
+
+__all__ = ["save_npz", "load_npz", "write_long_csv", "read_long_csv"]
+
+
+def save_npz(path, dataset: EMADataset) -> Path:
+    """Serialize a dataset to one ``.npz`` file."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "__ids": np.array([ind.identifier for ind in dataset]),
+        "__variables": np.array(list(dataset.variable_names)),
+        "__compliance": np.array([ind.compliance for ind in dataset]),
+    }
+    for ind in dataset:
+        payload[f"values_{ind.identifier}"] = ind.values
+        if ind.ground_truth_graph is not None:
+            payload[f"graph_{ind.identifier}"] = ind.ground_truth_graph
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_npz(path) -> EMADataset:
+    """Load a dataset written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        ids = [str(i) for i in archive["__ids"]]
+        names = tuple(str(n) for n in archive["__variables"])
+        compliance = archive["__compliance"]
+        individuals = []
+        for index, identifier in enumerate(ids):
+            graph_key = f"graph_{identifier}"
+            individuals.append(Individual(
+                identifier=identifier,
+                values=archive[f"values_{identifier}"],
+                variable_names=names,
+                compliance=float(compliance[index]),
+                ground_truth_graph=(archive[graph_key]
+                                    if graph_key in archive.files else None),
+            ))
+    return EMADataset(individuals)
+
+
+def write_long_csv(path, dataset: EMADataset) -> Path:
+    """Export as long-format CSV: participant, beep, item, value."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["participant", "beep", "item", "value"])
+        for ind in dataset:
+            for t in range(ind.num_time_points):
+                for j, item in enumerate(ind.variable_names):
+                    writer.writerow([ind.identifier, t, item,
+                                     f"{ind.values[t, j]:g}"])
+    return path
+
+
+def read_long_csv(path) -> EMADataset:
+    """Import a long-format EMA export.
+
+    Requirements: every participant must report the same item set; beeps
+    are ordered by their ``beep`` index; missing (participant, beep, item)
+    cells are not allowed — drop incomplete beeps upstream or impute first
+    (the preprocessing pipeline assumes complete rows, as the paper's
+    analysis does after removing unanswered questionnaires).
+    """
+    cells: dict[str, dict[int, dict[str, float]]] = defaultdict(dict)
+    items: dict[str, set] = defaultdict(set)
+    with Path(path).open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"participant", "beep", "item", "value"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(f"CSV must have columns {sorted(required)}, "
+                             f"got {reader.fieldnames}")
+        for row in reader:
+            participant = row["participant"]
+            beep = int(row["beep"])
+            cells[participant].setdefault(beep, {})[row["item"]] = float(row["value"])
+            items[participant].add(row["item"])
+
+    if not cells:
+        raise ValueError("CSV contains no observations")
+    item_sets = {frozenset(s) for s in items.values()}
+    if len(item_sets) != 1:
+        raise ValueError("participants report different item sets")
+    names = tuple(sorted(item_sets.pop()))
+
+    individuals = []
+    for participant in sorted(cells):
+        beeps = sorted(cells[participant])
+        values = np.zeros((len(beeps), len(names)))
+        for row_index, beep in enumerate(beeps):
+            record = cells[participant][beep]
+            missing = set(names) - set(record)
+            if missing:
+                raise ValueError(f"{participant} beep {beep} missing items "
+                                 f"{sorted(missing)}")
+            values[row_index] = [record[item] for item in names]
+        individuals.append(Individual(identifier=participant, values=values,
+                                      variable_names=names))
+    return EMADataset(individuals)

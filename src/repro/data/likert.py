@@ -1,0 +1,48 @@
+"""7-point Likert quantization and per-individual normalization.
+
+EMA ratings are recorded on a 1–7 Likert scale and, per the paper, "after
+being normalized for each individual" analyzed as continuous data.  The
+synthetic generator produces continuous latent intensities; this module
+quantizes them onto the scale (adding the discretization noise real EMA
+has) and implements the per-individual z-normalization the models consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_to_likert", "zscore_per_variable", "LIKERT_MIN", "LIKERT_MAX"]
+
+LIKERT_MIN = 1
+LIKERT_MAX = 7
+
+
+def quantize_to_likert(latent: np.ndarray, center: float = 4.0,
+                       scale: float | np.ndarray = 1.2) -> np.ndarray:
+    """Map continuous latent intensities onto the 1–7 Likert grid.
+
+    ``latent`` is roughly unit-scale; it is affinely mapped to the scale's
+    range (mean ``center``, spread ``scale``), rounded to the nearest
+    integer and clipped to [1, 7] — the response process of a participant
+    with a fixed anchor interpretation.  ``scale`` may be per-variable
+    (broadcast over the last axis).
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    if (scale <= 0).any():
+        raise ValueError(f"scale must be positive, got {scale}")
+    stretched = center + scale * np.asarray(latent, dtype=np.float64)
+    return np.clip(np.rint(stretched), LIKERT_MIN, LIKERT_MAX)
+
+
+def zscore_per_variable(values: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Z-score each variable of one individual's ``(T, V)`` recording.
+
+    Constant variables map to zero rather than NaN (they are removed by the
+    low-variance filter anyway, but the normalizer must not poison data).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"values must be (time, variables), got {x.shape}")
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    return (x - mean) / np.where(std > eps, std, 1.0)

@@ -1,0 +1,48 @@
+"""Sequential train/test splitting (paper section V-E).
+
+"Since each X_i is time-series data, these are sequentially split into
+training (first 70 % of each dataset) and test (the last 30 %)."  Windows
+are assigned to a side by the *target* time index, and test windows may
+reach back into the training region for their inputs (the standard
+walk-forward convention — no target leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .windows import WindowSet, make_windows
+
+__all__ = ["TrainTestWindows", "split_windows"]
+
+
+@dataclass(frozen=True)
+class TrainTestWindows:
+    train: WindowSet
+    test: WindowSet
+    boundary: int  # first time index belonging to the test region
+
+
+def split_windows(values: np.ndarray, seq_len: int,
+                  train_fraction: float = 0.7) -> TrainTestWindows:
+    """Window a recording and split by target index at ``train_fraction``."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    values = np.asarray(values, dtype=np.float64)
+    windows = make_windows(values, seq_len)
+    boundary = int(round(train_fraction * values.shape[0]))
+    train_mask = windows.target_indices < boundary
+    test_mask = ~train_mask
+    if train_mask.sum() == 0 or test_mask.sum() == 0:
+        raise ValueError(
+            f"split at {boundary}/{values.shape[0]} leaves an empty side "
+            f"(seq_len={seq_len}); recording too short")
+    train = WindowSet(inputs=windows.inputs[train_mask],
+                      targets=windows.targets[train_mask],
+                      target_indices=windows.target_indices[train_mask])
+    test = WindowSet(inputs=windows.inputs[test_mask],
+                     targets=windows.targets[test_mask],
+                     target_indices=windows.target_indices[test_mask])
+    return TrainTestWindows(train=train, test=test, boundary=boundary)

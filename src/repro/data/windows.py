@@ -1,0 +1,61 @@
+"""Sliding-window tensorization for 1-lag forecasting.
+
+The paper's task (section III-B): given the previous ``L`` time points of
+all ``V`` variables (L = 1, 2 or 5 — "Seq1/Seq2/Seq5"), predict all ``V``
+variables at the next time point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WindowSet", "make_windows"]
+
+
+@dataclass(frozen=True)
+class WindowSet:
+    """Supervised pairs: ``inputs[i]`` = steps ``t-L..t-1``, ``targets[i]`` = step ``t``."""
+
+    inputs: np.ndarray   # (samples, seq_len, variables)
+    targets: np.ndarray  # (samples, variables)
+    target_indices: np.ndarray  # (samples,) index of each target row in the source
+
+    def __post_init__(self):
+        if self.inputs.ndim != 3 or self.targets.ndim != 2:
+            raise ValueError("inputs must be (S, L, V) and targets (S, V)")
+        if self.inputs.shape[0] != self.targets.shape[0]:
+            raise ValueError("inputs and targets disagree on sample count")
+        if self.inputs.shape[2] != self.targets.shape[1]:
+            raise ValueError("inputs and targets disagree on variable count")
+
+    @property
+    def num_samples(self) -> int:
+        return self.inputs.shape[0]
+
+    @property
+    def seq_len(self) -> int:
+        return self.inputs.shape[1]
+
+    @property
+    def num_variables(self) -> int:
+        return self.inputs.shape[2]
+
+
+def make_windows(values: np.ndarray, seq_len: int) -> WindowSet:
+    """Build all 1-lag supervised pairs from a ``(T, V)`` recording."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"values must be (time, variables), got {x.shape}")
+    if seq_len < 1:
+        raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+    t = x.shape[0]
+    if t <= seq_len:
+        raise ValueError(f"need more than {seq_len} time points, got {t}")
+    num = t - seq_len
+    idx = np.arange(num)[:, None] + np.arange(seq_len)[None, :]
+    inputs = x[idx]                       # (num, L, V)
+    target_indices = np.arange(seq_len, t)
+    targets = x[target_indices]
+    return WindowSet(inputs=inputs, targets=targets, target_indices=target_indices)

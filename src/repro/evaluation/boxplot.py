@@ -1,0 +1,44 @@
+"""Boxplot statistics for Fig. 3 (MSE distributions across individuals)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxplotStats", "boxplot_stats"]
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Tukey boxplot summary of a sample (plus the mean, which Fig. 3 marks)."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    mean: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values) -> BoxplotStats:
+    """Compute Tukey statistics (1.5 IQR whiskers) of per-individual MSEs."""
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("need at least one value")
+    q1, median, q3 = np.percentile(x, [25, 50, 75])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = x[(x >= low_fence) & (x <= high_fence)]
+    outliers = x[(x < low_fence) | (x > high_fence)]
+    return BoxplotStats(
+        median=float(median), q1=float(q1), q3=float(q3),
+        whisker_low=float(inside.min()), whisker_high=float(inside.max()),
+        mean=float(x.mean()), outliers=tuple(float(v) for v in np.sort(outliers)),
+    )

@@ -1,0 +1,61 @@
+"""Table assembly: turning cohort results into paper-style rows.
+
+The experiments produce ``IndividualResult`` lists per condition; these
+helpers aggregate them into :class:`CohortScore` cells and render aligned
+text tables matching the layout of Tables II and III.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..training.personalized import IndividualResult
+from .metrics import CohortScore, cohort_score
+
+__all__ = ["score_results", "format_table", "best_cells"]
+
+
+def score_results(results: Sequence[IndividualResult]) -> CohortScore:
+    """Aggregate one condition's individual results into a table cell."""
+    return cohort_score([r.test_mse for r in results])
+
+
+def format_table(title: str, rows: Mapping[str, Mapping[str, CohortScore]],
+                 columns: Sequence[str]) -> str:
+    """Render ``rows[row_label][column] -> CohortScore`` as aligned text.
+
+    Matches the paper's cell format ``mean(std)`` and marks the best value
+    per column with ``*``.
+    """
+    col_best = {}
+    for col in columns:
+        scores = [cells[col].mean for cells in rows.values() if col in cells]
+        col_best[col] = min(scores) if scores else None
+    label_width = max([len(r) for r in rows] + [len("Model")]) + 2
+    header = "Model".ljust(label_width) + "  ".join(c.center(14) for c in columns)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for label, cells in rows.items():
+        rendered = []
+        for col in columns:
+            if col not in cells:
+                rendered.append("-".center(14))
+                continue
+            cell = cells[col]
+            text = str(cell)
+            if col_best[col] is not None and cell.mean == col_best[col]:
+                text += "*"
+            rendered.append(text.center(14))
+        lines.append(label.ljust(label_width) + "  ".join(rendered))
+    lines.append("-" * len(header))
+    lines.append("* best score per column")
+    return "\n".join(lines)
+
+
+def best_cells(rows: Mapping[str, Mapping[str, CohortScore]]) -> dict[str, tuple[str, float]]:
+    """Best (row, mean) per column — used by experiment summaries."""
+    out: dict[str, tuple[str, float]] = {}
+    for label, cells in rows.items():
+        for col, score in cells.items():
+            if col not in out or score.mean < out[col][1]:
+                out[col] = (label, score.mean)
+    return out

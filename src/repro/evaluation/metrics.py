@@ -1,0 +1,69 @@
+"""Evaluation metrics (paper section V-E).
+
+The headline number is the MSE of equation (1): squared error summed over
+individuals, time points and variables, divided by ``N * T * V``.  Because
+individuals contribute different ``T_i``, the paper reports the *average of
+per-individual MSEs* with its standard deviation ("0.840(0.431)"), which is
+what :func:`cohort_score` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["mse_score", "CohortScore", "cohort_score", "percentage_change"]
+
+
+def mse_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Per-individual MSE over all (time, variable) cells."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+@dataclass(frozen=True)
+class CohortScore:
+    """Mean(std) of per-individual MSEs — one cell of the paper's tables."""
+
+    mean: float
+    std: float
+    per_individual: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.per_individual)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}({self.std:.3f})"
+
+
+def cohort_score(per_individual_mses) -> CohortScore:
+    """Aggregate per-individual MSEs the way the paper's tables do."""
+    values = tuple(float(v) for v in per_individual_mses)
+    if not values:
+        raise ValueError("need at least one individual score")
+    return CohortScore(mean=float(np.mean(values)),
+                       std=float(np.std(values)),
+                       per_individual=values)
+
+
+def percentage_change(before, after) -> float:
+    """Mean per-individual relative % change (Fig. 3's red annotations).
+
+    Negative = improvement (lower MSE after).  Computed per individual and
+    then averaged, exactly like the paper ("for each individual, the
+    relative percentage of increase or decrease is calculated").
+    """
+    before = np.asarray(list(before), dtype=np.float64)
+    after = np.asarray(list(after), dtype=np.float64)
+    if before.shape != after.shape or before.size == 0:
+        raise ValueError("before/after must be equal-length, non-empty")
+    if (before <= 0).any():
+        raise ValueError("baseline MSEs must be positive")
+    return float(np.mean((after - before) / before) * 100.0)

@@ -1,0 +1,67 @@
+"""Per-variable error analysis (paper section VII-C, future work).
+
+"the effects across the MSE scores when predicting each of the variables
+should be further investigated" — this module computes per-variable MSE
+decompositions per individual and aggregates them across a cohort, so the
+question the paper leaves open is answerable with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VariableScore", "per_variable_mse", "aggregate_variable_scores"]
+
+
+@dataclass(frozen=True)
+class VariableScore:
+    """Cohort-level error summary of one EMA variable."""
+
+    name: str
+    mean: float
+    std: float
+    worst_individual: str
+    best_individual: str
+
+
+def per_variable_mse(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """MSE of each variable (column) for one individual."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 2:
+        raise ValueError(
+            f"need matching (T, V) arrays, got {y_true.shape} vs {y_pred.shape}")
+    if y_true.shape[0] == 0:
+        raise ValueError("cannot score empty arrays")
+    return ((y_true - y_pred) ** 2).mean(axis=0)
+
+
+def aggregate_variable_scores(per_individual: dict[str, np.ndarray],
+                              variable_names) -> list[VariableScore]:
+    """Aggregate per-variable MSE vectors (keyed by individual) cohort-wide.
+
+    Returns one :class:`VariableScore` per variable, sorted hardest-first —
+    the ranking the paper's future-work question asks for.
+    """
+    variable_names = list(variable_names)
+    if not per_individual:
+        raise ValueError("need at least one individual")
+    ids = sorted(per_individual)
+    matrix = np.stack([np.asarray(per_individual[i], dtype=np.float64)
+                       for i in ids])  # (N, V)
+    if matrix.shape[1] != len(variable_names):
+        raise ValueError(f"{matrix.shape[1]} scores but "
+                         f"{len(variable_names)} variable names")
+    scores = []
+    for j, name in enumerate(variable_names):
+        column = matrix[:, j]
+        scores.append(VariableScore(
+            name=name,
+            mean=float(column.mean()),
+            std=float(column.std()),
+            worst_individual=ids[int(column.argmax())],
+            best_individual=ids[int(column.argmin())],
+        ))
+    return sorted(scores, key=lambda s: -s.mean)

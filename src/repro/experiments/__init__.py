@@ -1,0 +1,22 @@
+"""Experiment runners reproducing the paper's evaluation section.
+
+* Experiment A -> Table II   (:func:`run_experiment_a`)
+* Experiment B -> Table III  (:func:`run_experiment_b`)
+* Experiment C -> Fig. 3     (:func:`run_experiment_c`)
+* Table I scenario grid      (:func:`scenario_grid`)
+"""
+
+from .config import ExperimentConfig, PROFILES, make_dataset
+from .experiment_a import ExperimentAResult, run_experiment_a, TABLE2_GDT
+from .experiment_b import ExperimentBResult, run_experiment_b, TABLE3_SEQ_LEN
+from .experiment_c import (ConditionDistribution, ExperimentCResult,
+                           run_experiment_c)
+from .scenarios import Scenario, scenario_grid, TABLE1
+
+__all__ = [
+    "ExperimentConfig", "PROFILES", "make_dataset",
+    "ExperimentAResult", "run_experiment_a", "TABLE2_GDT",
+    "ExperimentBResult", "run_experiment_b", "TABLE3_SEQ_LEN",
+    "ConditionDistribution", "ExperimentCResult", "run_experiment_c",
+    "Scenario", "scenario_grid", "TABLE1",
+]

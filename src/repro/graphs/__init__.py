@@ -1,0 +1,36 @@
+"""Graph construction for EMA variables (paper section III-D).
+
+Static similarity metrics (Euclidean, kNN, DTW, Pearson correlation),
+density thresholding (GDT), random controls, learned-graph recycling, and
+graph diagnostics.
+"""
+
+from .adjacency import (EXTENDED_METHODS, GraphMethod, STATIC_METHODS,
+                        build_adjacency)
+from .communities import (CommunityReport, adjusted_rand_index,
+                          detect_communities)
+from .correlation import correlation_adjacency, correlation_matrix
+from .dtw import dtw_adjacency, dtw_distance, pairwise_dtw
+from .euclidean import euclidean_adjacency, pairwise_euclidean
+from .extended import (cosine_adjacency, mutual_information_adjacency,
+                       partial_correlation_adjacency)
+from .knn import knn_adjacency, knn_from_similarity
+from .learned import prepare_learned_graph
+from .properties import degree_stats, graph_correlation, is_symmetric, summarize
+from .random_graph import random_adjacency, random_like
+from .sparsify import density, sparsify
+
+__all__ = [
+    "GraphMethod", "STATIC_METHODS", "EXTENDED_METHODS", "build_adjacency",
+    "cosine_adjacency", "partial_correlation_adjacency",
+    "mutual_information_adjacency",
+    "CommunityReport", "detect_communities", "adjusted_rand_index",
+    "correlation_adjacency", "correlation_matrix",
+    "dtw_adjacency", "dtw_distance", "pairwise_dtw",
+    "euclidean_adjacency", "pairwise_euclidean",
+    "knn_adjacency", "knn_from_similarity",
+    "prepare_learned_graph",
+    "graph_correlation", "is_symmetric", "degree_stats", "summarize",
+    "random_adjacency", "random_like",
+    "density", "sparsify",
+]

@@ -1,0 +1,105 @@
+"""Unified graph-construction front end (the paper's Table I graph column).
+
+``build_adjacency(series, method, ...)`` dispatches to the four static
+similarity metrics plus the random control; ``GraphMethod`` enumerates the
+names used throughout the experiments ("euclidean", "knn", "dtw",
+"correlation", "random" — plus "learned", which is produced by MTGNN rather
+than from data and therefore has no builder here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .correlation import correlation_adjacency
+from .dtw import dtw_adjacency
+from .euclidean import euclidean_adjacency
+from .extended import (cosine_adjacency, mutual_information_adjacency,
+                       partial_correlation_adjacency)
+from .knn import knn_adjacency
+from .random_graph import random_adjacency
+from .sparsify import sparsify
+
+__all__ = ["STATIC_METHODS", "EXTENDED_METHODS", "build_adjacency", "GraphMethod"]
+
+
+class GraphMethod:
+    """Canonical names for graph conditions (mirrors the paper's notation)."""
+
+    EUCLIDEAN = "euclidean"
+    KNN = "knn"
+    DTW = "dtw"
+    CORRELATION = "correlation"
+    RANDOM = "random"
+    LEARNED = "learned"
+    # Extended metrics (paper section VII-C, future work):
+    COSINE = "cosine"
+    PARTIAL_CORRELATION = "partial_correlation"
+    MUTUAL_INFORMATION = "mutual_information"
+
+    #: Paper-style abbreviations for table rendering.
+    LABELS = {
+        EUCLIDEAN: "EUC",
+        KNN: "kNN",
+        DTW: "DTW",
+        CORRELATION: "CORR",
+        RANDOM: "RAND",
+        LEARNED: "learned",
+        COSINE: "COS",
+        PARTIAL_CORRELATION: "PCORR",
+        MUTUAL_INFORMATION: "MI",
+    }
+
+
+STATIC_METHODS: dict[str, Callable[..., np.ndarray]] = {
+    GraphMethod.EUCLIDEAN: euclidean_adjacency,
+    GraphMethod.KNN: knn_adjacency,
+    GraphMethod.DTW: dtw_adjacency,
+    GraphMethod.CORRELATION: correlation_adjacency,
+}
+
+#: Future-work metrics (usable everywhere the paper's four are).
+EXTENDED_METHODS: dict[str, Callable[..., np.ndarray]] = {
+    GraphMethod.COSINE: cosine_adjacency,
+    GraphMethod.PARTIAL_CORRELATION: partial_correlation_adjacency,
+    GraphMethod.MUTUAL_INFORMATION: mutual_information_adjacency,
+}
+
+
+def build_adjacency(series: np.ndarray, method: str,
+                    keep_fraction: float = 1.0,
+                    rng: np.random.Generator | None = None,
+                    **kwargs) -> np.ndarray:
+    """Build a variable graph from an individual's ``(time, variables)`` data.
+
+    Parameters
+    ----------
+    series:
+        Individual EMA data, time on axis 0.
+    method:
+        One of ``euclidean | knn | dtw | correlation | random``.
+    keep_fraction:
+        Graph density threshold (GDT); applied after construction.
+    rng:
+        Required for ``method="random"``.
+    kwargs:
+        Metric-specific options (``k`` for knn, ``window``/``bandwidth``
+        for dtw, ``bandwidth`` for euclidean).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if method == GraphMethod.RANDOM:
+        if rng is None:
+            raise ValueError("random graphs need an explicit rng")
+        v = series.shape[1]
+        max_edges = v * (v - 1) // 2
+        num_edges = max(1, int(round(keep_fraction * max_edges)))
+        return random_adjacency(v, num_edges, rng)
+    builders = {**STATIC_METHODS, **EXTENDED_METHODS}
+    if method not in builders:
+        raise ValueError(
+            f"unknown graph method {method!r}; expected one of "
+            f"{sorted(builders) + [GraphMethod.RANDOM]}")
+    adjacency = builders[method](series, **kwargs)
+    return sparsify(adjacency, keep_fraction)

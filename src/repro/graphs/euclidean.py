@@ -1,0 +1,53 @@
+"""Euclidean-distance graph (paper's EUC metric).
+
+Variables (EMA items) are nodes; the edge weight between two variables is a
+Gaussian kernel of the Euclidean distance between their time series:
+``w_ij = exp(-d_ij^2 / (2 sigma^2))`` with ``sigma`` the median pairwise
+distance (a standard adaptive bandwidth, keeping weights well spread in
+(0, 1] regardless of the series' scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_euclidean", "euclidean_adjacency"]
+
+
+def pairwise_euclidean(series: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between the columns of ``series``.
+
+    ``series`` has shape ``(time, variables)``; returns ``(V, V)`` with a
+    zero diagonal.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"series must be (time, variables), got shape {x.shape}")
+    gram = x.T @ x
+    sq = np.diag(gram)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * gram
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(np.maximum(d2, 0.0))
+
+
+def euclidean_adjacency(series: np.ndarray, bandwidth: float | None = None) -> np.ndarray:
+    """Gaussian-kernel similarity graph from Euclidean distances.
+
+    Parameters
+    ----------
+    series:
+        ``(time, variables)`` array.
+    bandwidth:
+        Kernel width ``sigma``; defaults to the median nonzero pairwise
+        distance.  Must be positive when given.
+    """
+    distances = pairwise_euclidean(series)
+    if bandwidth is None:
+        off_diagonal = distances[~np.eye(distances.shape[0], dtype=bool)]
+        positive = off_diagonal[off_diagonal > 0]
+        bandwidth = float(np.median(positive)) if positive.size else 1.0
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    adjacency = np.exp(-(distances ** 2) / (2.0 * bandwidth ** 2))
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency

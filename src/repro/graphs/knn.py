@@ -1,0 +1,40 @@
+"""k-nearest-neighbour graph (paper's kNN metric).
+
+As in the paper (citing Bintsi et al.), the kNN graph keeps only the
+"significant" edges of the Euclidean similarity graph: each node retains its
+``k`` most similar neighbours.  The result is symmetrized with the
+elementwise maximum so that an edge exists if *either* endpoint selected it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .euclidean import euclidean_adjacency
+
+__all__ = ["knn_adjacency", "knn_from_similarity"]
+
+
+def knn_from_similarity(similarity: np.ndarray, k: int) -> np.ndarray:
+    """Keep each node's ``k`` strongest edges of a similarity matrix."""
+    sim = np.asarray(similarity, dtype=np.float64)
+    n = sim.shape[0]
+    if sim.ndim != 2 or sim.shape[1] != n:
+        raise ValueError(f"similarity must be square, got {sim.shape}")
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    work = sim.copy()
+    np.fill_diagonal(work, -np.inf)
+    keep = np.zeros_like(work, dtype=bool)
+    top = np.argpartition(-work, kth=k - 1, axis=1)[:, :k]
+    np.put_along_axis(keep, top, True, axis=1)
+    pruned = np.where(keep, sim, 0.0)
+    out = np.maximum(pruned, pruned.T)
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def knn_adjacency(series: np.ndarray, k: int = 5,
+                  bandwidth: float | None = None) -> np.ndarray:
+    """kNN graph over the Euclidean similarity of ``(time, variables)`` data."""
+    return knn_from_similarity(euclidean_adjacency(series, bandwidth=bandwidth), k)

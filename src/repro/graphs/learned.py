@@ -1,0 +1,50 @@
+"""Learned-graph extraction and recycling (Experiment C).
+
+MTGNN's graph learner produces a *directed, non-negative* adjacency.  To
+feed it back into A3TGCN/ASTGCN — which expect an undirected
+similarity-style graph — the paper's "<metric>_learned" condition is
+realized here by symmetrizing, rescaling to [0, 1], and optionally matching
+the edge count of the static graph it refines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sparsify import sparsify
+
+__all__ = ["prepare_learned_graph"]
+
+
+def prepare_learned_graph(learned: np.ndarray,
+                          match_edges_of: np.ndarray | None = None) -> np.ndarray:
+    """Convert an MTGNN-learned adjacency into a static GNN input graph.
+
+    Parameters
+    ----------
+    learned:
+        The raw adjacency exported by :meth:`GraphLearner.learned_adjacency`.
+    match_edges_of:
+        When given, the output is re-sparsified to the same undirected edge
+        count as this reference graph, so learned and static conditions are
+        compared at equal density.
+    """
+    a = np.asarray(learned, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"learned adjacency must be square, got {a.shape}")
+    if (a < 0).any():
+        raise ValueError("learned adjacency must be non-negative (post-ReLU)")
+    sym = (a + a.T) / 2.0
+    np.fill_diagonal(sym, 0.0)
+    peak = sym.max()
+    if peak > 0:
+        sym = sym / peak
+    if match_edges_of is not None:
+        ref = np.asarray(match_edges_of)
+        n = ref.shape[0]
+        upper = np.triu((ref + ref.T) / 2.0, k=1)
+        target_edges = int((upper > 0).sum())
+        present = int((np.triu(sym, k=1) > 0).sum())
+        if present > target_edges > 0:
+            sym = sparsify(sym, target_edges / present)
+    return sym

@@ -1,0 +1,41 @@
+"""Random graphs (paper's RAND control condition).
+
+Experiment B validates the similarity graphs against "a randomly generated
+graph with the same amount of connected edges" — i.e. the edge *count* is
+matched to a reference graph but placement and weights carry no information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_adjacency", "random_like"]
+
+
+def random_adjacency(num_nodes: int, num_edges: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Symmetric random graph with exactly ``num_edges`` undirected edges.
+
+    Edge weights are Uniform(0, 1]; the diagonal is zero.
+    """
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if not 0 <= num_edges <= max_edges:
+        raise ValueError(f"num_edges must be in [0, {max_edges}], got {num_edges}")
+    rows, cols = np.triu_indices(num_nodes, k=1)
+    chosen = rng.choice(rows.size, size=num_edges, replace=False)
+    adjacency = np.zeros((num_nodes, num_nodes))
+    weights = 1.0 - rng.random(num_edges)  # (0, 1]
+    adjacency[rows[chosen], cols[chosen]] = weights
+    adjacency[cols[chosen], rows[chosen]] = weights
+    return adjacency
+
+
+def random_like(reference: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Random graph with the same node and undirected-edge count as ``reference``."""
+    ref = np.asarray(reference)
+    if ref.ndim != 2 or ref.shape[0] != ref.shape[1]:
+        raise ValueError(f"reference must be square, got {ref.shape}")
+    n = ref.shape[0]
+    upper = np.triu(ref, k=1)
+    num_edges = int((upper > 0).sum())
+    return random_adjacency(n, num_edges, rng)

@@ -1,0 +1,52 @@
+"""Graph density thresholding (paper's GDT parameter).
+
+Experiment B compares sparsity levels keeping 20 %, 40 %, or 100 % of the
+graph's edges.  ``sparsify`` keeps the strongest fraction of *undirected*
+edges (ranked by weight) and zeroes the rest, preserving symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparsify", "density"]
+
+
+def sparsify(adjacency: np.ndarray, keep_fraction: float) -> np.ndarray:
+    """Keep the top ``keep_fraction`` of undirected edges by weight.
+
+    ``keep_fraction`` is the GDT: 1.0 returns the graph unchanged, 0.2 keeps
+    the strongest 20 % of currently-present edges (ties broken by index
+    order, deterministically).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    a = np.asarray(adjacency, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"adjacency must be square, got {a.shape}")
+    if keep_fraction == 1.0:
+        out = a.copy()
+        np.fill_diagonal(out, 0.0)
+        return out
+    sym = (a + a.T) / 2.0
+    rows, cols = np.triu_indices(a.shape[0], k=1)
+    weights = sym[rows, cols]
+    present = weights > 0
+    n_present = int(present.sum())
+    n_keep = max(1, int(round(keep_fraction * n_present))) if n_present else 0
+    out = np.zeros_like(sym)
+    if n_keep:
+        order = np.argsort(-weights, kind="stable")[:n_keep]
+        out[rows[order], cols[order]] = sym[rows[order], cols[order]]
+        out[cols[order], rows[order]] = sym[rows[order], cols[order]]
+    return out
+
+
+def density(adjacency: np.ndarray) -> float:
+    """Fraction of possible undirected edges that are present (weight > 0)."""
+    a = np.asarray(adjacency)
+    n = a.shape[0]
+    if n < 2:
+        return 0.0
+    upper = np.triu((a + a.T) / 2.0, k=1)
+    return float((upper > 0).sum()) / (n * (n - 1) / 2)

@@ -1,0 +1,14 @@
+"""The paper's four forecasters: LSTM baseline + three spatio-temporal GNNs."""
+
+from .base import Forecaster
+from .lstm import LSTMForecaster
+from .tgcn import TGCNCell
+from .a3tgcn import A3TGCN
+from .astgcn import ASTGCN
+from .mtgnn import MTGNN
+from .var import NaiveMeanForecaster, VARForecaster
+from .registry import MODEL_NAMES, ModelConfig, create_model
+
+__all__ = ["Forecaster", "LSTMForecaster", "TGCNCell", "A3TGCN", "ASTGCN",
+           "MTGNN", "VARForecaster", "NaiveMeanForecaster",
+           "ModelConfig", "MODEL_NAMES", "create_model"]

@@ -1,0 +1,38 @@
+"""Baseline LSTM forecaster (paper's Experiment-A reference model).
+
+A plain multivariate LSTM: all ``V`` variables enter jointly as the feature
+vector of each time step, the final hidden state is projected back to ``V``
+outputs.  No graph information is used — this is exactly the baseline the
+GNNs are compared against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn import Dropout, Linear, LSTM
+from .base import Forecaster
+
+__all__ = ["LSTMForecaster"]
+
+
+class LSTMForecaster(Forecaster):
+    """``(S, L, V) -> LSTM -> dropout -> linear -> (S, V)``."""
+
+    requires_graph = False
+
+    def __init__(self, num_variables: int, seq_len: int, hidden_size: int = 32,
+                 num_layers: int = 1, dropout: float = 0.3,
+                 rng: np.random.Generator | None = None):
+        super().__init__(num_variables, seq_len)
+        rng = rng if rng is not None else np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.lstm = LSTM(num_variables, hidden_size, num_layers=num_layers, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.head = Linear(hidden_size, num_variables, rng=rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        self._check_input(inputs)
+        _, (hidden, _) = self.lstm(inputs)
+        return self.head(self.dropout(hidden))

@@ -1,0 +1,111 @@
+"""Classical baselines: ridge-regularized VAR and the naive mean predictor.
+
+The paper's related work (section II-A) grounds EMA forecasting in Vector
+Autoregression — "most of the studies focus on applying linear statistical
+models, like the VAR model" — and motivates GNNs by VAR's instability on
+high-dimensional, interdependent EMA variables.  These closed-form
+baselines make that comparison runnable:
+
+* :class:`VARForecaster` — VAR(p) fit by ridge regression (one shot, no
+  gradient training); ``p`` = the window length, so Seq1/Seq2/Seq5 map to
+  VAR(1)/VAR(2)/VAR(5).
+* :class:`NaiveMeanForecaster` — predicts each variable's training mean
+  (≈ 0 after per-individual z-normalization), the MSE ≈ 1.0 anchor used
+  throughout EXPERIMENTS.md.
+
+Both satisfy the :class:`Forecaster` interface; ``fit`` is closed-form so
+the gradient :class:`~repro.training.Trainer` is bypassed via
+:meth:`fit_windows`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..data.windows import WindowSet
+from .base import Forecaster
+
+__all__ = ["VARForecaster", "NaiveMeanForecaster"]
+
+
+class VARForecaster(Forecaster):
+    """VAR(p) via ridge regression on flattened lag windows.
+
+    ``x_t = c + sum_k A_k x_{t-k} + e`` — estimated jointly as one linear
+    map from the flattened window ``(L * V,)`` to ``(V,)`` with an L2
+    penalty, the standard stabilization for EMA's short, collinear series.
+    """
+
+    requires_graph = False
+
+    def __init__(self, num_variables: int, seq_len: int, ridge: float = 10.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__(num_variables, seq_len)
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.ridge = ridge
+        features = num_variables * seq_len
+        self._coefficients = np.zeros((features, num_variables))
+        self._intercept = np.zeros(num_variables)
+        self._fitted = False
+
+    def fit_windows(self, windows: WindowSet) -> "VARForecaster":
+        """Closed-form ridge fit on a window set."""
+        x = windows.inputs.reshape(windows.num_samples, -1).astype(np.float64)
+        y = windows.targets.astype(np.float64)
+        x_mean = x.mean(axis=0)
+        y_mean = y.mean(axis=0)
+        xc, yc = x - x_mean, y - y_mean
+        gram = xc.T @ xc + self.ridge * np.eye(x.shape[1])
+        self._coefficients = np.linalg.solve(gram, xc.T @ yc)
+        self._intercept = y_mean - x_mean @ self._coefficients
+        self._fitted = True
+        return self
+
+    def coefficient_matrices(self) -> np.ndarray:
+        """The fitted lag matrices, shaped ``(seq_len, V, V)``.
+
+        ``result[k][i, j]`` is the effect of variable *j* at lag
+        ``seq_len - k`` on variable *i* — the "network of co-occurring
+        variables" interpretation EMA studies draw from VAR fits.
+        """
+        per_lag = self._coefficients.reshape(self.seq_len, self.num_variables,
+                                             self.num_variables)
+        return np.transpose(per_lag, (0, 2, 1))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        self._check_input(inputs)
+        flat = inputs.data.reshape(inputs.shape[0], -1)
+        prediction = flat @ self._coefficients + self._intercept
+        return Tensor(prediction.astype(inputs.dtype))
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("VARForecaster.predict called before fit_windows")
+        flat = np.asarray(inputs, dtype=np.float64).reshape(len(inputs), -1)
+        return flat @ self._coefficients + self._intercept
+
+
+class NaiveMeanForecaster(Forecaster):
+    """Predicts each variable's training mean regardless of input."""
+
+    requires_graph = False
+
+    def __init__(self, num_variables: int, seq_len: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__(num_variables, seq_len)
+        self._mean = np.zeros(num_variables)
+
+    def fit_windows(self, windows: WindowSet) -> "NaiveMeanForecaster":
+        self._mean = windows.targets.astype(np.float64).mean(axis=0)
+        return self
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        self._check_input(inputs)
+        out = np.broadcast_to(self._mean, (inputs.shape[0], self.num_variables))
+        return Tensor(out.astype(inputs.dtype).copy())
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(self._mean,
+                               (len(inputs), self.num_variables)).copy()

@@ -1,0 +1,35 @@
+"""Neural-network layer library built on :mod:`repro.autodiff`.
+
+Provides every block the paper's four forecasters need: affine layers,
+recurrent cells, dilated temporal convolutions, spatial/temporal attention,
+graph convolutions, and MTGNN's graph learner.
+"""
+
+from .module import Module, Parameter
+from .linear import Linear
+from .activations import ELU, LeakyReLU, ReLU, Sigmoid, Tanh
+from .dropout import Dropout
+from .normalization import LayerNorm
+from .container import ModuleList, Sequential
+from .recurrent import GRUCell, LSTM, LSTMCell
+from .conv import DilatedInception, TemporalConv2d
+from .attention import SpatialAttention, TemporalAttention, TemporalAttentionPool
+from .graph import (ChebConv, GCNConv, GraphLearner, MixHopPropagation,
+                    scaled_laplacian)
+from .graph_gts import GTSGraphLearner, series_node_features
+from .loss import HuberLoss, MAELoss, MSELoss
+from . import init
+
+__all__ = [
+    "Module", "Parameter", "Linear",
+    "ReLU", "Tanh", "Sigmoid", "LeakyReLU", "ELU",
+    "Dropout", "LayerNorm", "Sequential", "ModuleList",
+    "GRUCell", "LSTMCell", "LSTM",
+    "TemporalConv2d", "DilatedInception",
+    "TemporalAttentionPool", "SpatialAttention", "TemporalAttention",
+    "GCNConv", "ChebConv", "MixHopPropagation", "GraphLearner",
+    "GTSGraphLearner", "series_node_features",
+    "scaled_laplacian",
+    "MSELoss", "MAELoss", "HuberLoss",
+    "init",
+]

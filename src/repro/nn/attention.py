@@ -1,0 +1,116 @@
+"""Attention mechanisms used by A3TGCN and ASTGCN.
+
+* :class:`TemporalAttentionPool` — A3T-GCN's attention: score each time step
+  of a hidden-state sequence with a small MLP, softmax over time, and return
+  the attention-weighted context vector.
+* :class:`SpatialAttention` / :class:`TemporalAttention` — ASTGCN's
+  spatial-temporal attention (Guo et al., AAAI'19 formulation): bilinear
+  scoring producing an (N, N) node-attention or (T, T) step-attention matrix
+  per sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax
+from . import init
+from .linear import Linear
+from .module import Module, Parameter
+
+__all__ = ["TemporalAttentionPool", "SpatialAttention", "TemporalAttention"]
+
+
+class TemporalAttentionPool(Module):
+    """Soft attention over axis 1 of a ``(batch, steps, features)`` tensor.
+
+    ``score_t = v^T tanh(W h_t + b)``; weights are the softmax of scores over
+    the step axis, and the output is the weighted sum of the ``h_t``.
+    """
+
+    def __init__(self, feature_dim: int, attention_dim: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        attention_dim = attention_dim if attention_dim is not None else feature_dim
+        self.project = Linear(feature_dim, attention_dim, rng=rng)
+        self.score = Linear(attention_dim, 1, bias=False, rng=rng)
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        if sequence.ndim != 3:
+            raise ValueError(
+                f"TemporalAttentionPool expects (batch, steps, features), got {sequence.shape}")
+        scores = self.score(self.project(sequence).tanh())  # (B, L, 1)
+        weights = softmax(scores, axis=1)
+        return (sequence * weights).sum(axis=1)
+
+    def attention_weights(self, sequence: Tensor) -> np.ndarray:
+        """Return the (batch, steps) attention distribution (for inspection)."""
+        scores = self.score(self.project(sequence).tanh())
+        return softmax(scores, axis=1).data[..., 0]
+
+
+class SpatialAttention(Module):
+    """ASTGCN spatial attention producing a per-sample (N, N) matrix.
+
+    Input ``(B, N, C, T)``.  Following Guo et al.:
+    ``S = Vs * sigmoid(((X W1) W2) (W3 X)^T + bs)`` row-softmaxed.
+    """
+
+    def __init__(self, num_nodes: int, in_channels: int, num_steps: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_nodes = num_nodes
+        self.in_channels = in_channels
+        self.num_steps = num_steps
+        self.w1 = Parameter(init.xavier_uniform((num_steps, 1), rng)[:, 0])
+        self.w2 = Parameter(init.xavier_uniform((in_channels, num_steps), rng))
+        self.w3 = Parameter(init.xavier_uniform((in_channels, 1), rng)[:, 0])
+        self.vs = Parameter(init.xavier_uniform((num_nodes, num_nodes), rng))
+        self.bias = Parameter(init.zeros((num_nodes, num_nodes)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1:] != (self.num_nodes, self.in_channels, self.num_steps):
+            raise ValueError(
+                f"SpatialAttention expects (B, {self.num_nodes}, {self.in_channels}, "
+                f"{self.num_steps}), got {x.shape}")
+        lhs = (x @ self.w1) @ self.w2                     # (B, N, T)
+        rhs = x.transpose(0, 3, 1, 2) @ self.w3           # (B, T, N)
+        product = lhs @ rhs                               # (B, N, N)
+        scores = self.vs @ (product + self.bias).sigmoid()
+        return softmax(scores, axis=-1)
+
+
+class TemporalAttention(Module):
+    """ASTGCN temporal attention producing a per-sample (T, T) matrix.
+
+    Input ``(B, N, C, T)``; symmetric in structure to spatial attention but
+    over the step axis: ``E = Ve * sigmoid(((X^T U1) U2) (U3 X) + be)``.
+    """
+
+    def __init__(self, num_nodes: int, in_channels: int, num_steps: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_nodes = num_nodes
+        self.in_channels = in_channels
+        self.num_steps = num_steps
+        self.u1 = Parameter(init.xavier_uniform((num_nodes, 1), rng)[:, 0])
+        self.u2 = Parameter(init.xavier_uniform((in_channels, num_nodes), rng))
+        self.u3 = Parameter(init.xavier_uniform((in_channels, 1), rng)[:, 0])
+        self.ve = Parameter(init.xavier_uniform((num_steps, num_steps), rng))
+        self.bias = Parameter(init.zeros((num_steps, num_steps)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1:] != (self.num_nodes, self.in_channels, self.num_steps):
+            raise ValueError(
+                f"TemporalAttention expects (B, {self.num_nodes}, {self.in_channels}, "
+                f"{self.num_steps}), got {x.shape}")
+        # X^T over (node, time): (B, T, C, N)
+        xt = x.transpose(0, 3, 2, 1)
+        lhs = (xt @ self.u1) @ self.u2                    # (B, T, N)
+        rhs = x.transpose(0, 1, 3, 2) @ self.u3           # (B, N, T)
+        product = lhs @ rhs                               # (B, T, T)
+        scores = self.ve @ (product + self.bias).sigmoid()
+        return softmax(scores, axis=-1)

@@ -1,0 +1,55 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._items: list[Module] = []
+        for i, module in enumerate(modules):
+            self.register_module(str(i), module)
+            self._items.append(module)
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class ModuleList(Module):
+    """A list of submodules that are properly registered for traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

@@ -1,0 +1,36 @@
+"""Inverted dropout.
+
+The paper trains every model with a dropout rate of 0.3 (section V-D).
+Dropout is active only in ``train()`` mode and draws its masks from an
+explicit generator so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Zero each element with probability ``p`` and rescale by ``1/(1-p)``."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = ((self.rng.random(x.shape) < keep) / keep).astype(x.data.dtype)
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,129 @@
+"""GTS-style graph structure learning (paper section VII-C, future work).
+
+The paper closes by asking for graphs "learned by advanced methods, such as
+Graph for Time Series (GTS)" to be compared with static and MTGNN-learned
+graphs.  GTS (Shang et al., ICLR 2021) infers one *global* graph from
+whole-series node representations: features are extracted per node from
+its entire training series, a pairwise MLP scores every directed node
+pair, and the resulting edge probabilities gate message passing — all
+trained end-to-end against the forecasting loss.
+
+:class:`GTSGraphLearner` is a faithful-but-compact realization:
+
+* per-node features are fixed functionals of the training series
+  (dispersion, lag autocorrelations, skewness/kurtosis, plus a shared
+  random projection of the raw series that encodes cross-node similarity);
+* a trainable two-layer MLP maps ``[f_i, f_j]`` to an edge logit;
+* the adjacency is ``sigmoid(logits / temperature)`` with a zeroed
+  diagonal and optional top-k row sparsification (as in GTS's kNN prior).
+
+It is a drop-in replacement for MTGNN's adaptive learner via
+``MTGNN(..., custom_graph_learner=...)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from . import init
+from .activations import ReLU
+from .container import Sequential
+from .linear import Linear
+from .module import Module
+
+__all__ = ["GTSGraphLearner", "series_node_features"]
+
+
+def series_node_features(series: np.ndarray, projection_dim: int = 8,
+                         max_lag: int = 3,
+                         rng: np.random.Generator | None = None) -> np.ndarray:
+    """Fixed per-node feature vectors from a ``(time, nodes)`` series.
+
+    Features per node: std, lag-1..``max_lag`` autocorrelations, skewness,
+    kurtosis, and ``projection_dim`` coordinates of a shared random
+    projection of the (standardized) series — nodes with correlated series
+    land close in projection space, which is the similarity signal the
+    pairwise MLP learns to convert into edges.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"series must be (time, nodes), got {x.shape}")
+    t, v = x.shape
+    if t < max_lag + 2:
+        raise ValueError(f"need more than {max_lag + 1} time points, got {t}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    std = x.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    z = (x - x.mean(axis=0)) / safe
+
+    columns = [std]
+    for lag in range(1, max_lag + 1):
+        num = (z[:-lag] * z[lag:]).mean(axis=0)
+        columns.append(num)
+    columns.append((z ** 3).mean(axis=0))            # skewness
+    columns.append((z ** 4).mean(axis=0) - 3.0)      # excess kurtosis
+    projection = rng.standard_normal((t, projection_dim)) / np.sqrt(t)
+    columns.extend((z.T @ projection).T)             # projection coords
+    features = np.stack(columns, axis=1)             # (V, F)
+    # Standardize feature columns so the MLP sees balanced scales.
+    mean = features.mean(axis=0)
+    scale = features.std(axis=0)
+    return (features - mean) / np.where(scale > 0, scale, 1.0)
+
+
+class GTSGraphLearner(Module):
+    """Global graph inference from whole-series node features (GTS-style)."""
+
+    def __init__(self, num_nodes: int, series: np.ndarray, hidden: int = 16,
+                 temperature: float = 0.5, top_k: int | None = None,
+                 projection_dim: int = 8,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if top_k is not None and not 1 <= top_k <= num_nodes:
+            raise ValueError(f"top_k must be in [1, {num_nodes}]")
+        features = series_node_features(series, projection_dim=projection_dim,
+                                        rng=rng)
+        if features.shape[0] != num_nodes:
+            raise ValueError(f"series has {features.shape[0]} nodes, "
+                             f"expected {num_nodes}")
+        self.num_nodes = num_nodes
+        self.temperature = temperature
+        self.top_k = top_k
+        feature_dim = features.shape[1]
+        # Constant pairwise input: (V, V, 2F) = [f_i, f_j] for every pair.
+        left = np.repeat(features[:, None, :], num_nodes, axis=1)
+        right = np.repeat(features[None, :, :], num_nodes, axis=0)
+        self._pair_features = Tensor(
+            np.concatenate([left, right], axis=2))
+        self.edge_mlp = Sequential(
+            Linear(2 * feature_dim, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, 1, rng=rng),
+        )
+        # Start near-neutral so early training is not dominated by a bad graph.
+        self.edge_mlp[2].weight.data *= 0.1
+
+    def forward(self) -> Tensor:
+        logits = self.edge_mlp(self._pair_features).reshape(
+            self.num_nodes, self.num_nodes)
+        adjacency = (logits * (1.0 / self.temperature)).sigmoid()
+        off_diagonal = Tensor(1.0 - np.eye(self.num_nodes,
+                                           dtype=adjacency.dtype))
+        adjacency = adjacency * off_diagonal
+        if self.top_k is not None and self.top_k < self.num_nodes:
+            from .graph import GraphLearner
+
+            mask = GraphLearner._top_k_mask(adjacency.data, self.top_k)
+            adjacency = adjacency * Tensor(mask.astype(adjacency.dtype))
+        return adjacency
+
+    def learned_adjacency(self) -> np.ndarray:
+        """Export the current graph as plain numpy."""
+        from ..autodiff import no_grad
+
+        with no_grad():
+            return self.forward().data.copy()

@@ -1,0 +1,47 @@
+"""Affine layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` applied to the last axis.
+
+    Accepts input of any rank ``(..., in_features)`` and returns
+    ``(..., out_features)``, exactly like ``torch.nn.Linear``.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got {x.shape[-1]}")
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Linear(in={self.in_features}, out={self.out_features}, "
+                f"bias={self.bias is not None})")

@@ -1,0 +1,29 @@
+"""Loss modules wrapping :mod:`repro.autodiff.functional`."""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor, huber, mae, mse
+from .module import Module
+
+__all__ = ["MSELoss", "MAELoss", "HuberLoss"]
+
+
+class MSELoss(Module):
+    """Mean squared error — the paper's training and evaluation loss (eq. 1)."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return mse(prediction, target)
+
+
+class MAELoss(Module):
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return mae(prediction, target)
+
+
+class HuberLoss(Module):
+    def __init__(self, delta: float = 1.0):
+        super().__init__()
+        self.delta = delta
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return huber(prediction, target, delta=self.delta)

@@ -1,0 +1,10 @@
+"""Optimizers and gradient utilities."""
+
+from .optimizer import Optimizer
+from .sgd import SGD
+from .adam import Adam
+from .clip import clip_grad_norm, clip_grad_value
+from .schedule import ReduceLROnPlateau, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "clip_grad_value",
+           "StepLR", "ReduceLROnPlateau"]

@@ -1,0 +1,36 @@
+"""Gradient clipping utilities (MTGNN trains with grad-norm clipping)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["clip_grad_norm", "clip_grad_value"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for divergence diagnostics).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+def clip_grad_value(parameters: Iterable[Parameter], max_value: float) -> None:
+    """Clamp every gradient element to [-max_value, max_value]."""
+    if max_value <= 0:
+        raise ValueError("max_value must be positive")
+    for p in parameters:
+        if p.grad is not None:
+            np.clip(p.grad, -max_value, max_value, out=p.grad)

@@ -1,0 +1,32 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base optimizer holding a concrete list of parameters.
+
+    Subclasses implement :meth:`step`.  ``zero_grad`` clears gradients so
+    the usual ``zero_grad -> backward -> step`` loop works.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,53 @@
+"""Learning-rate schedules (step decay and plateau reduction)."""
+
+from __future__ import annotations
+
+from .optimizer import Optimizer
+
+__all__ = ["StepLR", "ReduceLROnPlateau"]
+
+
+class StepLR:
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class ReduceLROnPlateau:
+    """Halve the LR when the monitored loss stops improving."""
+
+    def __init__(self, optimizer: Optimizer, patience: int = 10,
+                 factor: float = 0.5, min_lr: float = 1e-5):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.patience = patience
+        self.factor = factor
+        self.min_lr = min_lr
+        self._best = float("inf")
+        self._stale = 0
+
+    def step(self, loss: float) -> None:
+        if loss < self._best - 1e-12:
+            self._best = loss
+            self._stale = 0
+            return
+        self._stale += 1
+        if self._stale >= self.patience:
+            self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            self._stale = 0

@@ -1,0 +1,9 @@
+"""Personalized training: full-batch trainer + cohort experiment loop."""
+
+from .history import TrainingHistory
+from .personalized import IndividualResult, run_cohort, run_individual
+from .seeding import derive_seed
+from .trainer import Trainer, TrainerConfig
+
+__all__ = ["TrainingHistory", "IndividualResult", "run_cohort",
+           "run_individual", "derive_seed", "Trainer", "TrainerConfig"]

@@ -1,0 +1,45 @@
+"""Training history record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training losses plus summary statistics."""
+
+    losses: list[float] = field(default_factory=list)
+
+    def record(self, loss: float) -> None:
+        self.losses.append(float(loss))
+
+    @property
+    def epochs(self) -> int:
+        return len(self.losses)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return self.losses[-1]
+
+    @property
+    def best_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return min(self.losses)
+
+    @property
+    def best_epoch(self) -> int:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return int(min(range(len(self.losses)), key=self.losses.__getitem__))
+
+    def improved(self, rel_tol: float = 0.01) -> bool:
+        """Did training reduce the loss by at least ``rel_tol`` relative?"""
+        if len(self.losses) < 2:
+            return False
+        return self.final_loss < (1.0 - rel_tol) * self.losses[0]

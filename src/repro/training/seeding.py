@@ -1,0 +1,22 @@
+"""Deterministic seed derivation.
+
+Every (individual, model, graph, ...) combination in the experiments gets
+its own stable seed, so any single cell of any table can be re-run in
+isolation and reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["derive_seed"]
+
+
+def derive_seed(*parts, base: int = 0) -> int:
+    """Derive a 31-bit seed from a base seed and any hashable string parts.
+
+    Uses CRC32 over the joined textual representation — stable across
+    processes and Python versions (unlike ``hash``).
+    """
+    text = "|".join(str(p) for p in parts)
+    return (zlib.crc32(text.encode("utf-8")) ^ (base * 2654435761)) & 0x7FFFFFFF

@@ -1,0 +1,133 @@
+"""Tests for composite functions (softmax, losses, adjacency normalizer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import (Tensor, check_gradients, huber, log_softmax, mae,
+                            mse, normalize_adjacency, softmax)
+
+
+def leaf(shape, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(scale * rng.standard_normal(shape), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        s = softmax(leaf((4, 6), 0), axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_stable_under_large_inputs(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+        s = softmax(x, axis=-1)
+        assert np.isfinite(s.data).all()
+
+    def test_gradient(self):
+        check_gradients(lambda a: (softmax(a, axis=1) * np.arange(12.0).reshape(3, 4)).sum(),
+                        [leaf((3, 4), 1)])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = leaf((3, 5), 2)
+        np.testing.assert_allclose(log_softmax(x, axis=1).data,
+                                   np.log(softmax(x, axis=1).data), atol=1e-10)
+
+    def test_log_softmax_gradient(self):
+        check_gradients(lambda a: (log_softmax(a, axis=0) * 0.3).sum(), [leaf((4, 2), 3)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.float64, (3, 4), elements=st.floats(-50, 50)))
+    def test_softmax_probability_simplex(self, raw):
+        s = softmax(Tensor(raw), axis=-1).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        x = leaf((3, 3), 4)
+        assert mse(x, x.data).item() == pytest.approx(0.0)
+
+    def test_mse_known_value(self):
+        pred = Tensor(np.array([1.0, 3.0]), requires_grad=True)
+        assert mse(pred, np.array([0.0, 0.0])).item() == pytest.approx(5.0)
+
+    def test_mse_gradient(self):
+        target = np.random.default_rng(5).standard_normal((4, 3))
+        check_gradients(lambda a: mse(a, target), [leaf((4, 3), 6)])
+
+    def test_mae_gradient(self):
+        target = np.zeros((3, 3))
+        a = leaf((3, 3), 7)
+        a.data[np.abs(a.data) < 1e-3] = 0.4
+        check_gradients(lambda a: mae(a, target), [a])
+
+    def test_huber_quadratic_region_matches_half_mse(self):
+        pred = Tensor(np.array([0.3, -0.2]), requires_grad=True)
+        target = np.zeros(2)
+        expected = 0.5 * np.mean(pred.data ** 2)
+        assert huber(pred, target, delta=1.0).item() == pytest.approx(expected)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([10.0]))
+        assert huber(pred, np.zeros(1), delta=1.0).item() == pytest.approx(10.0 - 0.5)
+
+    def test_huber_gradient(self):
+        a = leaf((5,), 8, scale=2.0)
+        a.data[np.abs(np.abs(a.data) - 1.0) < 1e-2] += 0.1  # avoid kink at |x|=delta
+        check_gradients(lambda a: huber(a, np.zeros(5)), [a])
+
+    def test_loss_does_not_backprop_into_target(self):
+        pred, target = leaf((3,), 9), leaf((3,), 10)
+        mse(pred, target).backward()
+        assert target.grad is None
+
+
+class TestNormalizeAdjacency:
+    def test_symmetric_output_for_symmetric_input(self):
+        rng = np.random.default_rng(11)
+        a = rng.random((5, 5))
+        a = (a + a.T) / 2
+        norm = normalize_adjacency(a)
+        np.testing.assert_allclose(norm, norm.T, atol=1e-12)
+
+    def test_identity_input(self):
+        norm = normalize_adjacency(np.eye(3), add_self_loops=False)
+        np.testing.assert_allclose(norm, np.eye(3))
+
+    def test_isolated_node_yields_zero_row_without_self_loops(self):
+        a = np.zeros((3, 3))
+        a[0, 1] = a[1, 0] = 1.0
+        norm = normalize_adjacency(a, add_self_loops=False)
+        np.testing.assert_allclose(norm[2], np.zeros(3))
+        assert np.isfinite(norm).all()
+
+    def test_self_loops_added_by_default(self):
+        norm = normalize_adjacency(np.zeros((3, 3)))
+        np.testing.assert_allclose(norm, np.eye(3))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.zeros((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_spectral_radius_at_most_one(self):
+        rng = np.random.default_rng(12)
+        a = rng.random((8, 8))
+        a = (a + a.T) / 2
+        norm = normalize_adjacency(a)
+        eigvals = np.linalg.eigvalsh(norm)
+        assert eigvals.max() <= 1.0 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (6, 6), elements=st.floats(0, 5)))
+    def test_property_finite_and_bounded(self, raw):
+        sym = (raw + raw.T) / 2
+        norm = normalize_adjacency(sym)
+        assert np.isfinite(norm).all()
+        assert np.abs(np.linalg.eigvalsh((norm + norm.T) / 2)).max() <= 1.0 + 1e-6

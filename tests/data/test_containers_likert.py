@@ -1,0 +1,131 @@
+"""Tests for data containers and Likert utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import (EMADataset, Individual, LIKERT_MAX, LIKERT_MIN,
+                        quantize_to_likert, zscore_per_variable)
+
+
+def individual(seed=0, t=50, v=4, identifier="p000", compliance=0.8):
+    rng = np.random.default_rng(seed)
+    return Individual(
+        identifier=identifier,
+        values=rng.standard_normal((t, v)),
+        variable_names=tuple(f"var{i}" for i in range(v)),
+        compliance=compliance,
+    )
+
+
+class TestIndividual:
+    def test_basic_properties(self):
+        ind = individual()
+        assert ind.num_time_points == 50
+        assert ind.num_variables == 4
+
+    def test_validates_shape_and_names(self):
+        with pytest.raises(ValueError):
+            Individual("x", np.zeros(5), ("a",))
+        with pytest.raises(ValueError):
+            Individual("x", np.zeros((5, 2)), ("a",))
+        with pytest.raises(ValueError):
+            Individual("x", np.zeros((5, 1)), ("a",), compliance=1.5)
+
+    def test_select_variables(self):
+        ind = individual()
+        sub = ind.select_variables([0, 2])
+        assert sub.variable_names == ("var0", "var2")
+        np.testing.assert_array_equal(sub.values, ind.values[:, [0, 2]])
+
+    def test_select_variables_slices_ground_truth_graph(self):
+        ind = individual()
+        ind.ground_truth_graph = np.arange(16.0).reshape(4, 4)
+        sub = ind.select_variables([1, 3])
+        np.testing.assert_array_equal(sub.ground_truth_graph,
+                                      ind.ground_truth_graph[np.ix_([1, 3], [1, 3])])
+
+    def test_with_values_preserves_metadata(self):
+        ind = individual(compliance=0.6)
+        new = ind.with_values(np.zeros((10, 4)))
+        assert new.compliance == 0.6
+        assert new.identifier == ind.identifier
+        assert new.num_time_points == 10
+
+
+class TestEMADataset:
+    def test_iteration_and_indexing(self):
+        ds = EMADataset([individual(identifier="a"), individual(identifier="b", seed=1)])
+        assert len(ds) == 2
+        assert ds[1].identifier == "b"
+        assert [i.identifier for i in ds] == ["a", "b"]
+
+    def test_rejects_mixed_variable_sets(self):
+        a = individual()
+        b = Individual("c", np.zeros((5, 2)), ("x", "y"))
+        with pytest.raises(ValueError):
+            EMADataset([a, b])
+
+    def test_summary(self):
+        ds = EMADataset([individual(t=40), individual(t=60, seed=1, identifier="q")])
+        s = ds.summary()
+        assert s["individuals"] == 2
+        assert s["mean_time_points"] == 50.0
+        assert s["min_time_points"] == 40
+
+    def test_empty_dataset(self):
+        ds = EMADataset([])
+        assert ds.summary()["individuals"] == 0
+        assert ds.variable_names == ()
+
+
+class TestLikert:
+    def test_values_on_grid(self):
+        rng = np.random.default_rng(2)
+        q = quantize_to_likert(rng.standard_normal((100, 5)))
+        assert set(np.unique(q)) <= set(range(LIKERT_MIN, LIKERT_MAX + 1))
+
+    def test_center_maps_to_four(self):
+        assert quantize_to_likert(np.zeros((3, 2)))[0, 0] == 4.0
+
+    def test_extremes_clip(self):
+        assert quantize_to_likert(np.array([[100.0]]))[0, 0] == LIKERT_MAX
+        assert quantize_to_likert(np.array([[-100.0]]))[0, 0] == LIKERT_MIN
+
+    def test_per_variable_scale(self):
+        latent = np.ones((1, 2))
+        q = quantize_to_likert(latent, scale=np.array([0.5, 2.0]))
+        assert q[0, 0] < q[0, 1]
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            quantize_to_likert(np.zeros((2, 2)), scale=0.0)
+
+
+class TestZScore:
+    def test_standardizes_each_variable(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((200, 3)) * np.array([1.0, 5.0, 0.2]) + np.array([0, 10, -4])
+        z = zscore_per_variable(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_variable_maps_to_zero(self):
+        x = np.ones((50, 2))
+        x[:, 1] = np.random.default_rng(4).standard_normal(50)
+        z = zscore_per_variable(x)
+        np.testing.assert_array_equal(z[:, 0], 0.0)
+        assert np.isfinite(z).all()
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            zscore_per_variable(np.zeros(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (30, 3), elements=st.floats(-100, 100)))
+    def test_property_finite_and_centered(self, x):
+        z = zscore_per_variable(x)
+        assert np.isfinite(z).all()
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-6)

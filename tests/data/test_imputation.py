@@ -1,0 +1,111 @@
+"""Tests for missing-beep imputation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.imputation import (forward_fill, linear_interpolate,
+                                   mean_impute, simulate_missingness)
+
+
+def ramp(t=10, v=2):
+    return np.tile(np.arange(float(t))[:, None], (1, v))
+
+
+class TestSimulateMissingness:
+    def test_rate_zero_keeps_everything(self):
+        mask = simulate_missingness(50, 0.0, np.random.default_rng(0))
+        assert mask.all()
+
+    def test_rate_controls_missing_fraction(self):
+        rng = np.random.default_rng(1)
+        mask = simulate_missingness(5000, 0.3, rng, block_probability=0.0)
+        assert (~mask).mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_blocks_create_runs(self):
+        rng = np.random.default_rng(2)
+        blocky = simulate_missingness(5000, 0.2, rng, block_probability=0.9)
+        # With heavy blocking, missing beeps cluster: count run starts.
+        miss = ~blocky
+        runs = int(np.sum(miss[1:] & ~miss[:-1]) + miss[0])
+        assert runs < miss.sum() * 0.6
+
+    def test_never_fully_missing(self):
+        mask = simulate_missingness(3, 0.99, np.random.default_rng(3))
+        assert mask.any()
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            simulate_missingness(5, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            simulate_missingness(5, 0.1, np.random.default_rng(0),
+                                 block_probability=2.0)
+
+
+class TestImputers:
+    def make_case(self):
+        values = ramp()
+        mask = np.ones(10, dtype=bool)
+        mask[[3, 4, 9]] = False
+        return values, mask
+
+    def test_forward_fill_carries_last(self):
+        values, mask = self.make_case()
+        filled = forward_fill(values, mask)
+        assert filled[3, 0] == 2.0 and filled[4, 0] == 2.0
+        assert filled[9, 0] == 8.0
+
+    def test_forward_fill_leading_gap_uses_mean(self):
+        values = ramp()
+        mask = np.ones(10, dtype=bool)
+        mask[0] = False
+        filled = forward_fill(values, mask)
+        observed_mean = values[1:, 0].mean()
+        assert filled[0, 0] == pytest.approx(observed_mean)
+
+    def test_mean_impute(self):
+        values, mask = self.make_case()
+        filled = mean_impute(values, mask)
+        observed_mean = values[mask, 0].mean()
+        assert filled[3, 0] == pytest.approx(observed_mean)
+
+    def test_linear_interpolation_exact_on_ramp(self):
+        values, mask = self.make_case()
+        filled = linear_interpolate(values, mask)
+        # A ramp is linear, so interpolation recovers it exactly (interior),
+        # and edge gaps extend the nearest observation.
+        np.testing.assert_allclose(filled[3:5, 0], [3.0, 4.0])
+        assert filled[9, 0] == 8.0
+
+    def test_observed_cells_untouched(self):
+        values, mask = self.make_case()
+        for imputer in (forward_fill, mean_impute, linear_interpolate):
+            filled = imputer(values, mask)
+            np.testing.assert_array_equal(filled[mask[:, None].repeat(2, 1)],
+                                          values[mask[:, None].repeat(2, 1)])
+
+    def test_per_cell_mask_supported(self):
+        values = ramp()
+        mask = np.ones((10, 2), dtype=bool)
+        mask[5, 0] = False
+        filled = forward_fill(values, mask)
+        assert filled[5, 0] == 4.0
+        assert filled[5, 1] == 5.0
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            forward_fill(np.zeros(5), np.ones(5, dtype=bool))
+        with pytest.raises(ValueError):
+            mean_impute(ramp(), np.ones(7, dtype=bool))
+        with pytest.raises(ValueError):
+            linear_interpolate(ramp(), np.zeros(10, dtype=bool))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_property_all_finite_after_imputation(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((30, 3))
+        mask = simulate_missingness(30, 0.4, rng)
+        for imputer in (forward_fill, mean_impute, linear_interpolate):
+            assert np.isfinite(imputer(values, mask)).all()

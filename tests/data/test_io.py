@@ -1,0 +1,100 @@
+"""Tests for dataset persistence (NPZ) and long-format CSV interchange."""
+
+import numpy as np
+import pytest
+
+from repro.data import (EMADataset, Individual, load_npz, read_long_csv,
+                        save_npz, write_long_csv)
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    names = ("sad", "calm", "tired")
+    individuals = []
+    for i in range(3):
+        graph = rng.random((3, 3))
+        graph = (graph + graph.T) / 2
+        np.fill_diagonal(graph, 0.0)
+        individuals.append(Individual(
+            identifier=f"p{i}",
+            values=np.round(rng.uniform(1, 7, size=(10 + i, 3))),
+            variable_names=names,
+            compliance=0.5 + 0.1 * i,
+            ground_truth_graph=graph if i != 1 else None,
+        ))
+    return EMADataset(individuals)
+
+
+class TestNPZ:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = save_npz(tmp_path / "cohort.npz", dataset)
+        loaded = load_npz(path)
+        assert len(loaded) == len(dataset)
+        assert loaded.variable_names == dataset.variable_names
+        for a, b in zip(dataset, loaded):
+            assert a.identifier == b.identifier
+            assert a.compliance == pytest.approx(b.compliance)
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_ground_truth_graph_optional(self, dataset, tmp_path):
+        loaded = load_npz(save_npz(tmp_path / "c.npz", dataset))
+        assert loaded[0].ground_truth_graph is not None
+        assert loaded[1].ground_truth_graph is None
+
+    def test_synthetic_cohort_roundtrip(self, tmp_path):
+        from repro.data import SynthesisConfig, generate_cohort
+
+        cohort = generate_cohort(SynthesisConfig(num_individuals=3, num_days=5,
+                                                 seed=1))
+        loaded = load_npz(save_npz(tmp_path / "s.npz", cohort))
+        np.testing.assert_array_equal(loaded[2].values, cohort[2].values)
+
+
+class TestLongCSV:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = write_long_csv(tmp_path / "ema.csv", dataset)
+        loaded = read_long_csv(path)
+        assert len(loaded) == 3
+        # Items are sorted on import; compare by name.
+        for original in dataset:
+            twin = next(i for i in loaded if i.identifier == original.identifier)
+            for item in original.variable_names:
+                col_a = original.values[:, original.variable_names.index(item)]
+                col_b = twin.values[:, twin.variable_names.index(item)]
+                np.testing.assert_allclose(col_a, col_b)
+
+    def test_rejects_missing_columns(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_long_csv(bad)
+
+    def test_rejects_inconsistent_items(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("participant,beep,item,value\n"
+                       "p1,0,sad,3\np2,0,calm,4\n")
+        with pytest.raises(ValueError):
+            read_long_csv(bad)
+
+    def test_rejects_incomplete_beep(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("participant,beep,item,value\n"
+                       "p1,0,sad,3\np1,0,calm,4\np1,1,sad,2\n")
+        with pytest.raises(ValueError):
+            read_long_csv(bad)
+
+    def test_rejects_empty(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("participant,beep,item,value\n")
+        with pytest.raises(ValueError):
+            read_long_csv(empty)
+
+    def test_import_feeds_pipeline(self, dataset, tmp_path):
+        from repro.data import PreprocessingPipeline
+
+        loaded = read_long_csv(write_long_csv(tmp_path / "e.csv", dataset))
+        clean, report = PreprocessingPipeline(
+            min_compliance=0.0, max_individuals=None, min_std=0.01,
+            min_time_points=5).run(loaded)
+        assert report.kept_individuals == 3

@@ -1,0 +1,87 @@
+"""Tests for windowing and the sequential 70/30 split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import make_windows, split_windows
+
+
+def ramp(t=20, v=3):
+    """values[t, v] = t, so window contents are trivially checkable."""
+    return np.tile(np.arange(float(t))[:, None], (1, v))
+
+
+class TestMakeWindows:
+    def test_shapes(self):
+        ws = make_windows(ramp(), seq_len=5)
+        assert ws.inputs.shape == (15, 5, 3)
+        assert ws.targets.shape == (15, 3)
+        assert ws.num_samples == 15
+        assert ws.seq_len == 5
+        assert ws.num_variables == 3
+
+    def test_window_contents_align(self):
+        ws = make_windows(ramp(), seq_len=3)
+        # First sample: inputs are t=0,1,2; target is t=3.
+        np.testing.assert_array_equal(ws.inputs[0, :, 0], [0, 1, 2])
+        np.testing.assert_array_equal(ws.targets[0], [3, 3, 3])
+        assert ws.target_indices[0] == 3
+
+    def test_seq_len_one(self):
+        ws = make_windows(ramp(t=5), seq_len=1)
+        assert ws.inputs.shape == (4, 1, 3)
+        np.testing.assert_array_equal(ws.inputs[:, 0, 0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(ws.targets[:, 0], [1, 2, 3, 4])
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            make_windows(ramp(t=3), seq_len=3)  # too short
+        with pytest.raises(ValueError):
+            make_windows(ramp(), seq_len=0)
+        with pytest.raises(ValueError):
+            make_windows(np.zeros(5), seq_len=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 6), st.integers(8, 40))
+    def test_property_no_leakage(self, seq_len, t):
+        ws = make_windows(ramp(t=t), seq_len=seq_len)
+        # Every input step strictly precedes its target.
+        for i in range(ws.num_samples):
+            assert ws.inputs[i].max() < ws.targets[i, 0]
+
+
+class TestSplitWindows:
+    def test_respects_train_fraction(self):
+        split = split_windows(ramp(t=100), seq_len=2, train_fraction=0.7)
+        assert split.boundary == 70
+        assert (split.train.target_indices < 70).all()
+        assert (split.test.target_indices >= 70).all()
+
+    def test_no_target_overlap(self):
+        split = split_windows(ramp(t=50), seq_len=5)
+        overlap = set(split.train.target_indices) & set(split.test.target_indices)
+        assert not overlap
+
+    def test_all_targets_covered(self):
+        split = split_windows(ramp(t=50), seq_len=5)
+        covered = len(split.train.target_indices) + len(split.test.target_indices)
+        assert covered == 50 - 5
+
+    def test_test_windows_may_span_boundary(self):
+        # The first test window's inputs reach back into the train region.
+        split = split_windows(ramp(t=20), seq_len=5, train_fraction=0.7)
+        first = split.test.inputs[0, :, 0]
+        assert first.min() < split.boundary
+
+    def test_validates_fraction_and_length(self):
+        with pytest.raises(ValueError):
+            split_windows(ramp(), seq_len=2, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            split_windows(ramp(t=6), seq_len=5)  # empty train side
+
+    def test_chronological_order_preserved(self):
+        split = split_windows(ramp(t=40), seq_len=3)
+        assert (np.diff(split.train.target_indices) > 0).all()
+        assert (np.diff(split.test.target_indices) > 0).all()

@@ -1,0 +1,133 @@
+"""Tests for evaluation metrics, aggregation, boxplots, and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (BoxplotStats, best_cells, boxplot_stats,
+                              cohort_score, format_table, mse_score,
+                              percentage_change)
+
+
+class TestMSEScore:
+    def test_zero_for_perfect(self):
+        x = np.random.default_rng(0).standard_normal((10, 4))
+        assert mse_score(x, x) == 0.0
+
+    def test_matches_equation_one_inner_term(self):
+        # Eq (1): sum of squared errors / (T * V) for a single individual.
+        rng = np.random.default_rng(1)
+        y, p = rng.standard_normal((7, 3)), rng.standard_normal((7, 3))
+        expected = ((y - p) ** 2).sum() / (7 * 3)
+        assert mse_score(y, p) == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_score(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mse_score(np.zeros((0, 3)), np.zeros((0, 3)))
+
+    def test_naive_zero_predictor_on_standardized_data_is_one(self):
+        # Sanity anchor used throughout EXPERIMENTS.md: predicting the mean
+        # (0) of z-scored data gives MSE ~= 1.
+        rng = np.random.default_rng(2)
+        y = rng.standard_normal((5000, 4))
+        y = (y - y.mean(0)) / y.std(0)
+        assert mse_score(y, np.zeros_like(y)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCohortScore:
+    def test_mean_std(self):
+        s = cohort_score([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(np.std([1, 2, 3]))
+        assert s.count == 3
+
+    def test_paper_cell_format(self):
+        s = cohort_score([0.84, 0.84])
+        assert str(s) == "0.840(0.000)"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cohort_score([])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(0.01, 10), min_size=1, max_size=30))
+    def test_property_mean_within_range(self, values):
+        s = cohort_score(values)
+        assert min(values) - 1e-9 <= s.mean <= max(values) + 1e-9
+
+
+class TestPercentageChange:
+    def test_improvement_is_negative(self):
+        assert percentage_change([1.0], [0.8]) == pytest.approx(-20.0)
+
+    def test_per_individual_then_average(self):
+        # (-50% + +100%) / 2 = +25% — not the pooled-change value.
+        assert percentage_change([1.0, 1.0], [0.5, 2.0]) == pytest.approx(25.0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            percentage_change([1.0], [0.5, 0.4])
+        with pytest.raises(ValueError):
+            percentage_change([0.0], [0.5])
+        with pytest.raises(ValueError):
+            percentage_change([], [])
+
+
+class TestBoxplot:
+    def test_basic_quartiles(self):
+        stats = boxplot_stats(np.arange(1.0, 101.0))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 < stats.median < stats.q3
+        assert stats.mean == pytest.approx(50.5)
+        assert stats.outliers == ()
+
+    def test_outlier_detection(self):
+        values = list(np.ones(20)) + [100.0]
+        stats = boxplot_stats(values)
+        assert 100.0 in stats.outliers
+        assert stats.whisker_high <= 1.0
+
+    def test_whiskers_are_data_points(self):
+        rng = np.random.default_rng(3)
+        values = rng.standard_normal(50)
+        stats = boxplot_stats(values)
+        assert stats.whisker_low in values
+        assert stats.whisker_high in values
+
+    def test_single_value(self):
+        stats = boxplot_stats([2.5])
+        assert stats.median == 2.5
+        assert stats.iqr == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+
+class TestTableFormatting:
+    def make_rows(self):
+        return {
+            "LSTM": {"Seq1": cohort_score([1.0, 1.1])},
+            "MTGNN": {"Seq1": cohort_score([0.8, 0.9])},
+        }
+
+    def test_format_contains_cells_and_marks_best(self):
+        text = format_table("Table II", self.make_rows(), ["Seq1"])
+        assert "Table II" in text
+        assert "1.050(0.050)" in text
+        assert "0.850(0.050)*" in text
+
+    def test_missing_cell_renders_dash(self):
+        rows = self.make_rows()
+        text = format_table("T", rows, ["Seq1", "Seq5"])
+        assert "-" in text
+
+    def test_best_cells(self):
+        best = best_cells(self.make_rows())
+        assert best["Seq1"][0] == "MTGNN"
+        assert best["Seq1"][1] == pytest.approx(0.85)

@@ -1,0 +1,83 @@
+"""Tests for per-variable analysis and report writers."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (aggregate_variable_scores, cohort_score,
+                              per_variable_mse, write_per_individual_csv,
+                              write_table_csv, write_table_markdown)
+
+
+class TestPerVariableMSE:
+    def test_column_wise(self):
+        y = np.zeros((4, 2))
+        p = np.zeros((4, 2))
+        p[:, 1] = 2.0
+        np.testing.assert_allclose(per_variable_mse(y, p), [0.0, 4.0])
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            per_variable_mse(np.zeros((3, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            per_variable_mse(np.zeros((0, 2)), np.zeros((0, 2)))
+
+
+class TestAggregateVariableScores:
+    def test_sorted_hardest_first(self):
+        per_ind = {
+            "p1": np.array([0.5, 2.0, 1.0]),
+            "p2": np.array([0.7, 1.8, 1.2]),
+        }
+        scores = aggregate_variable_scores(per_ind, ["calm", "sad", "tired"])
+        assert [s.name for s in scores] == ["sad", "tired", "calm"]
+        assert scores[0].mean == pytest.approx(1.9)
+
+    def test_best_worst_individuals(self):
+        per_ind = {"p1": np.array([1.0]), "p2": np.array([3.0])}
+        (score,) = aggregate_variable_scores(per_ind, ["sad"])
+        assert score.worst_individual == "p2"
+        assert score.best_individual == "p1"
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            aggregate_variable_scores({}, ["a"])
+        with pytest.raises(ValueError):
+            aggregate_variable_scores({"p": np.array([1.0, 2.0])}, ["a"])
+
+
+@pytest.fixture
+def rows():
+    return {
+        "LSTM": {"Seq1": cohort_score([1.0, 1.2])},
+        "MTGNN": {"Seq1": cohort_score([0.8, 0.9]), "Seq5": cohort_score([0.7])},
+    }
+
+
+class TestReportWriters:
+    def test_csv_roundtrip(self, rows, tmp_path):
+        path = write_table_csv(tmp_path / "t.csv", rows, ["Seq1", "Seq5"])
+        with path.open() as handle:
+            records = list(csv.DictReader(handle))
+        assert len(records) == 2
+        lstm = next(r for r in records if r["model"] == "LSTM")
+        assert float(lstm["Seq1_mean"]) == pytest.approx(1.1)
+        assert lstm["Seq5_mean"] == ""  # missing cell
+
+    def test_markdown_marks_best(self, rows, tmp_path):
+        path = write_table_markdown(tmp_path / "t.md", "Table X", rows,
+                                    ["Seq1", "Seq5"])
+        text = path.read_text()
+        assert "### Table X" in text
+        assert "**0.850(0.050)**" in text
+        assert "–" in text  # missing cell dash
+
+    def test_per_individual_long_format(self, rows, tmp_path):
+        path = write_per_individual_csv(tmp_path / "long.csv", rows,
+                                        ["Seq1", "Seq5"])
+        with path.open() as handle:
+            records = list(csv.DictReader(handle))
+        # 2 + 2 + 1 individual scores
+        assert len(records) == 5
+        assert {r["condition"] for r in records} == {"Seq1", "Seq5"}

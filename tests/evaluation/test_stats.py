@@ -1,0 +1,54 @@
+"""Tests for paired significance testing."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import compare_conditions
+
+
+class TestCompareConditions:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        base = 1.0 + 0.05 * rng.standard_normal(30)
+        better = base - 0.2 + 0.02 * rng.standard_normal(30)
+        result = compare_conditions(better, base)
+        assert result.mean_difference < 0
+        assert result.significant()
+        assert result.wilcoxon_p < 0.01
+        assert result.ttest_p < 0.01
+
+    def test_pure_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = 1.0 + 0.1 * rng.standard_normal(25)
+        b = 1.0 + 0.1 * rng.standard_normal(25)
+        result = compare_conditions(a, b)
+        assert not result.significant(alpha=0.01)
+
+    def test_identical_conditions(self):
+        scores = [1.0, 0.9, 1.1, 0.8]
+        result = compare_conditions(scores, scores)
+        assert result.mean_difference == 0.0
+        assert result.wilcoxon_p == 1.0
+        assert not result.significant()
+
+    @pytest.mark.filterwarnings(
+        "ignore:Precision loss occurred:RuntimeWarning")
+    def test_pairing_matters(self):
+        # Consistent per-individual improvement that pooled stats would miss:
+        # huge between-individual spread, small within-pair delta.
+        rng = np.random.default_rng(2)
+        base = rng.uniform(0.5, 2.0, size=20)
+        better = base - 0.05
+        result = compare_conditions(better, base)
+        assert result.significant()
+
+    def test_str_readable(self):
+        result = compare_conditions([1.0, 1.1, 0.9], [1.2, 1.3, 1.0])
+        text = str(result)
+        assert "Wilcoxon" in text and "significant" in text
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            compare_conditions([1.0], [1.0])
+        with pytest.raises(ValueError):
+            compare_conditions([1.0, 2.0], [1.0])

@@ -1,0 +1,43 @@
+"""Tests for the CLI (fast commands only; table runners are covered in
+test_runners.py at micro scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_choices(self):
+        args = build_parser().parse_args(["table2", "--profile", "paper"])
+        assert args.profile == "paper"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--profile", "huge"])
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["fig3", "--seed", "123"])
+        assert args.seed == 123
+
+    def test_out_only_for_tables(self):
+        args = build_parser().parse_args(["table2", "--out", "/tmp/x"])
+        assert args.out == "/tmp/x"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--out", "/tmp/x"])
+
+
+class TestCommands:
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "A3TGCN" in out
+        assert "GDT" in out
+
+    def test_cohort_tiny(self, capsys):
+        assert main(["cohort", "--profile", "tiny", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "individuals" in out
+        assert "variables" in out

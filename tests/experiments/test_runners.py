@@ -1,0 +1,140 @@
+"""Integration tests for the experiment runners at micro scale.
+
+Use a micro profile (2 individuals, 2 epochs, shrunk models) so the full
+Table II / Table III / Fig. 3 pipelines execute end-to-end in seconds.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ExperimentConfig, PROFILES, make_dataset,
+                               run_experiment_a, run_experiment_b,
+                               run_experiment_c, scenario_grid, TABLE1)
+from repro.models import ModelConfig
+
+MICRO = ExperimentConfig(
+    raw_individuals=8, max_individuals=2, epochs=2, seed=9,
+    seq_lens=(1, 2), gdts=(0.4, 1.0),
+    graph_methods=("euclidean", "correlation"),
+    num_random_repeats=2, dtw_window=5,
+    model=ModelConfig(hidden_size=8, mtgnn_layers=1, mtgnn_embedding_dim=4),
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(MICRO)
+
+
+class TestConfig:
+    def test_profiles_exist(self):
+        assert set(PROFILES) == {"tiny", "small", "paper"}
+        assert PROFILES["paper"].max_individuals == 100
+        assert PROFILES["paper"].epochs == 300
+
+    def test_graph_kwargs(self):
+        cfg = ExperimentConfig()
+        assert cfg.graph_kwargs("knn") == {"k": 5}
+        assert cfg.graph_kwargs("dtw") == {"window": 10}
+        assert cfg.graph_kwargs("correlation") == {}
+
+    def test_make_dataset_respects_cap(self, dataset):
+        assert len(dataset) == 2
+        # At micro scale an occasional rare item can squeak past the variance
+        # filter; the full-scale cohort settles at exactly 26 (see data tests).
+        assert 26 <= dataset.num_variables <= 28
+
+
+class TestExperimentA:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return run_experiment_a(dataset, MICRO)
+
+    def test_all_rows_present(self, result):
+        labels = set(result.rows)
+        assert "Baseline LSTM" in labels
+        assert "MTGNN_EUC" in labels
+        assert "ASTGCN_CORR" in labels
+        # 1 baseline + 3 GNNs x 2 graphs
+        assert len(labels) == 7
+
+    def test_all_columns_filled(self, result):
+        for cells in result.rows.values():
+            assert set(cells) == {"Seq1", "Seq2"}
+            for score in cells.values():
+                assert np.isfinite(score.mean)
+                assert score.count == 2
+
+    def test_render_mentions_cells(self, result):
+        text = result.render()
+        assert "Table II" in text
+        assert "Baseline LSTM" in text
+        assert "(" in text  # mean(std) cells
+
+
+class TestExperimentB:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return run_experiment_b(dataset, MICRO)
+
+    def test_rows_include_random(self, result):
+        assert "A3TGCN_RAND" in result.rows
+        assert "MTGNN_CORR" in result.rows
+        # (2 static + random) x 3 models
+        assert len(result.rows) == 9
+
+    def test_columns_are_gdts(self, result):
+        assert result.columns == ("GDT=40%", "GDT=100%")
+
+    def test_render(self, result):
+        assert "Table III" in result.render()
+
+
+class TestExperimentC:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return run_experiment_c(dataset, MICRO)
+
+    def test_mtgnn_scores_per_metric(self, result):
+        assert set(result.mtgnn_scores) == {"EUC", "CORR"}
+
+    def test_distributions_cover_static_and_learned(self, result):
+        conditions = {(d.model, d.condition) for d in result.distributions}
+        assert ("a3tgcn", "CORR") in conditions
+        assert ("a3tgcn", "CORR_learned") in conditions
+        assert ("astgcn", "EUC_learned") in conditions
+        assert len(conditions) == 8  # 2 models x 2 metrics x {static, learned}
+
+    def test_pct_change_finite(self, result):
+        for per_metric in result.pct_change.values():
+            for value in per_metric.values():
+                assert np.isfinite(value)
+
+    def test_graph_similarity_in_range(self, result):
+        for corr in result.graph_similarity.values():
+            assert -1.0 <= corr <= 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig. 3" in text
+        assert "%" in text
+
+
+class TestScenarios:
+    def test_table1_factors(self):
+        assert TABLE1["Graph Sparsity"] == ("20%", "40%", "100%")
+
+    def test_grid_excludes_mtgnn_learned(self):
+        grid = list(scenario_grid())
+        assert not any(s.model == "mtgnn" and s.graph_method == "learned"
+                       for s in grid)
+        # 2 models x 6 graphs + 1 model x 5 graphs = 17 combos x 3 GDT x 3 seq
+        assert len(grid) == 17 * 9
+
+    def test_labels(self):
+        from repro.experiments import Scenario
+
+        s = Scenario("mtgnn", "correlation", 0.2, 5)
+        assert s.label() == "MTGNN_CORR GDT=20% Seq5"

@@ -1,0 +1,76 @@
+"""Tests for community detection and partition agreement."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import adjusted_rand_index, detect_communities
+
+
+def planted_two_blocks(n=10, within=0.9, between=0.05, seed=0):
+    """Two clear communities of n/2 nodes each."""
+    rng = np.random.default_rng(seed)
+    a = np.full((n, n), between)
+    half = n // 2
+    a[:half, :half] = within
+    a[half:, half:] = within
+    a += 0.01 * rng.random((n, n))
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, 0.0)
+    return a
+
+
+class TestDetectCommunities:
+    def test_recovers_planted_blocks(self):
+        report = detect_communities(planted_two_blocks())
+        assert report.num_communities >= 2
+        labels = np.array(report.labels)
+        # All nodes of each planted block share one label.
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_modularity_positive_for_structured_graph(self):
+        report = detect_communities(planted_two_blocks(within=1.0, between=0.0))
+        assert report.modularity > 0.3
+
+    def test_empty_graph_each_node_alone(self):
+        report = detect_communities(np.zeros((4, 4)))
+        assert report.num_communities == 4
+        assert report.modularity == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            detect_communities(np.zeros((2, 3)))
+
+    def test_synthetic_generator_communities_detectable(self):
+        # The cohort generator plants 4 communities; the ground-truth graph
+        # must expose them to community detection.
+        from repro.data import SynthesisConfig, generate_cohort
+
+        cohort = generate_cohort(SynthesisConfig(num_individuals=1, seed=3))
+        graph = cohort[0].ground_truth_graph[:26, :26]
+        report = detect_communities(graph)
+        truth = [0] * 8 + [1] * 6 + [2] * 6 + [3] * 6
+        ari = adjusted_rand_index(report.labels, truth)
+        assert ari > 0.5
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_orthogonal_partitions_near_zero(self):
+        a = [0, 0, 1, 1] * 25
+        rng = np.random.default_rng(4)
+        b = rng.integers(0, 2, size=100)
+        assert abs(adjusted_rand_index(a, b)) < 0.2
+
+    def test_single_cluster_vs_split(self):
+        ari = adjusted_rand_index([0] * 6, [0, 0, 0, 1, 1, 1])
+        assert ari <= 0.0 + 1e-9 or ari == pytest.approx(0.0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([], [])

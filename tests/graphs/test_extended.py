@@ -1,0 +1,112 @@
+"""Tests for the extended (future-work) graph metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graphs import (build_adjacency, cosine_adjacency,
+                          mutual_information_adjacency,
+                          partial_correlation_adjacency)
+
+
+def series(t=60, v=5, seed=0):
+    return np.random.default_rng(seed).standard_normal((t, v))
+
+
+def common_graph_checks(adjacency, n):
+    assert adjacency.shape == (n, n)
+    assert (adjacency >= 0).all()
+    assert (adjacency <= 1 + 1e-12).all()
+    np.testing.assert_allclose(adjacency, adjacency.T, atol=1e-10)
+    np.testing.assert_array_equal(np.diag(adjacency), 0.0)
+
+
+class TestCosine:
+    def test_valid_graph(self):
+        common_graph_checks(cosine_adjacency(series()), 5)
+
+    def test_parallel_series_get_weight_one(self):
+        x = series(seed=1)
+        x[:, 1] = 3.0 * x[:, 0]
+        assert cosine_adjacency(x)[0, 1] == pytest.approx(1.0)
+
+    def test_antiparallel_also_one(self):
+        x = series(seed=2)
+        x[:, 1] = -x[:, 0]
+        assert cosine_adjacency(x)[0, 1] == pytest.approx(1.0)
+
+    def test_zero_column_safe(self):
+        x = series(seed=3)
+        x[:, 2] = 0.0
+        a = cosine_adjacency(x)
+        assert np.isfinite(a).all()
+        assert (a[2] == 0).all()
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            cosine_adjacency(np.zeros(5))
+
+
+class TestPartialCorrelation:
+    def test_valid_graph(self):
+        common_graph_checks(partial_correlation_adjacency(series(seed=4)), 5)
+
+    def test_removes_indirect_association(self):
+        # Chain z -> x, z -> y: x and y correlate marginally, but the
+        # partial correlation given z should be much smaller.
+        rng = np.random.default_rng(5)
+        z = rng.standard_normal(4000)
+        x = z + 0.6 * rng.standard_normal(4000)
+        y = z + 0.6 * rng.standard_normal(4000)
+        data = np.stack([x, y, z], axis=1)
+        marginal = abs(np.corrcoef(x, y)[0, 1])
+        partial = partial_correlation_adjacency(data, shrinkage=0.01)[0, 1]
+        assert partial < 0.5 * marginal
+
+    def test_shrinkage_validation(self):
+        with pytest.raises(ValueError):
+            partial_correlation_adjacency(series(), shrinkage=1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(hnp.arrays(np.float64, (25, 4), elements=st.floats(-10, 10)))
+    def test_property_finite(self, x):
+        a = partial_correlation_adjacency(x)
+        assert np.isfinite(a).all()
+
+
+class TestMutualInformation:
+    def test_valid_graph(self):
+        common_graph_checks(mutual_information_adjacency(series(seed=6)), 5)
+
+    def test_deterministic_relationship_scores_high(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(400)
+        data = np.stack([x, x ** 2, rng.standard_normal(400)], axis=1)
+        a = mutual_information_adjacency(data)
+        # Nonlinear (quadratic) dependence: MI sees it...
+        assert a[0, 1] > 2.0 * a[0, 2]
+        # ...while Pearson correlation largely misses it.
+        assert abs(np.corrcoef(x, x ** 2)[0, 1]) < 0.3
+
+    def test_constant_column_zero(self):
+        x = series(seed=8)
+        x[:, 0] = 5.0
+        a = mutual_information_adjacency(x)
+        assert (a[0] == 0).all()
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            mutual_information_adjacency(series(), bins=1)
+        with pytest.raises(ValueError):
+            mutual_information_adjacency(series(t=3, v=2), bins=5)
+
+
+class TestDispatcherIntegration:
+    @pytest.mark.parametrize("method", ["cosine", "partial_correlation",
+                                        "mutual_information"])
+    def test_build_adjacency_supports_extended(self, method):
+        a = build_adjacency(series(seed=9), method, keep_fraction=0.3)
+        assert a.shape == (5, 5)
+        assert (a >= 0).all()

@@ -1,0 +1,199 @@
+"""Tests for the four similarity-based graph builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graphs import (correlation_adjacency, correlation_matrix,
+                          dtw_adjacency, dtw_distance, euclidean_adjacency,
+                          knn_adjacency, knn_from_similarity, pairwise_dtw,
+                          pairwise_euclidean)
+
+
+def series(t=30, v=6, seed=0):
+    return np.random.default_rng(seed).standard_normal((t, v))
+
+
+class TestEuclidean:
+    def test_matches_naive_distances(self):
+        x = series()
+        d = pairwise_euclidean(x)
+        for i in range(x.shape[1]):
+            for j in range(x.shape[1]):
+                assert d[i, j] == pytest.approx(np.linalg.norm(x[:, i] - x[:, j]), abs=1e-9)
+
+    def test_adjacency_in_unit_interval_zero_diagonal(self):
+        a = euclidean_adjacency(series(seed=1))
+        assert (a >= 0).all() and (a <= 1).all()
+        np.testing.assert_array_equal(np.diag(a), 0.0)
+
+    def test_symmetric(self):
+        a = euclidean_adjacency(series(seed=2))
+        np.testing.assert_allclose(a, a.T, atol=1e-12)
+
+    def test_identical_series_get_weight_one(self):
+        x = series(seed=3)
+        x[:, 1] = x[:, 0]
+        a = euclidean_adjacency(x)
+        assert a[0, 1] == pytest.approx(1.0)
+
+    def test_closer_series_get_higher_weight(self):
+        rng = np.random.default_rng(4)
+        base = rng.standard_normal(50)
+        x = np.stack([base, base + 0.1 * rng.standard_normal(50),
+                      base + 3.0 * rng.standard_normal(50)], axis=1)
+        a = euclidean_adjacency(x)
+        assert a[0, 1] > a[0, 2]
+
+    def test_rejects_bad_bandwidth_and_shape(self):
+        with pytest.raises(ValueError):
+            euclidean_adjacency(series(), bandwidth=0.0)
+        with pytest.raises(ValueError):
+            pairwise_euclidean(np.zeros(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (10, 4), elements=st.floats(-5, 5)))
+    def test_property_triangle_inequality(self, x):
+        d = pairwise_euclidean(x)
+        for i in range(4):
+            for j in range(4):
+                for k in range(4):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-8
+
+
+class TestKNN:
+    def test_each_node_keeps_at_least_k_edges_after_symmetrization(self):
+        a = knn_adjacency(series(seed=5), k=2)
+        assert ((a > 0).sum(axis=1) >= 2).all()
+
+    def test_sparser_than_dense_graph(self):
+        x = series(t=40, v=10, seed=6)
+        dense = euclidean_adjacency(x)
+        sparse = knn_adjacency(x, k=2)
+        assert (sparse > 0).sum() < (dense > 0).sum()
+
+    def test_kept_weights_match_similarity(self):
+        x = series(seed=7)
+        sim = euclidean_adjacency(x)
+        a = knn_adjacency(x, k=3)
+        mask = a > 0
+        np.testing.assert_allclose(a[mask], sim[mask])
+
+    def test_symmetric(self):
+        a = knn_adjacency(series(seed=8), k=3)
+        np.testing.assert_allclose(a, a.T)
+
+    def test_validates_k(self):
+        sim = euclidean_adjacency(series(seed=9))
+        with pytest.raises(ValueError):
+            knn_from_similarity(sim, k=0)
+        with pytest.raises(ValueError):
+            knn_from_similarity(sim, k=6)
+        with pytest.raises(ValueError):
+            knn_from_similarity(np.zeros((2, 3)), k=1)
+
+
+class TestDTW:
+    @staticmethod
+    def naive_dtw(a, b, window=None):
+        t1, t2 = len(a), len(b)
+        acc = np.full((t1, t2), np.inf)
+        for i in range(t1):
+            for j in range(t2):
+                if window is not None and abs(i - j) > window:
+                    continue
+                cost = abs(a[i] - b[j])
+                if i == 0 and j == 0:
+                    acc[i, j] = cost
+                elif i == 0:
+                    acc[i, j] = acc[i, j - 1] + cost
+                elif j == 0:
+                    acc[i, j] = acc[i - 1, j] + cost
+                else:
+                    acc[i, j] = cost + min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+        return acc[-1, -1]
+
+    def test_matches_naive_unconstrained(self):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((20, 5))
+        fast = pairwise_dtw(x)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert fast[i, j] == pytest.approx(self.naive_dtw(x[:, i], x[:, j]), abs=1e-9)
+
+    def test_matches_naive_banded(self):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((15, 4))
+        fast = pairwise_dtw(x, window=3)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert fast[i, j] == pytest.approx(
+                    self.naive_dtw(x[:, i], x[:, j], window=3), abs=1e-9)
+
+    def test_identical_series_distance_zero(self):
+        a = np.sin(np.linspace(0, 6, 30))
+        assert dtw_distance(a, a) == pytest.approx(0.0)
+
+    def test_shifted_series_cheaper_than_euclidean(self):
+        # DTW's raison d'etre in the paper: aligned-but-lagged signals.
+        t = np.linspace(0, 4 * np.pi, 60)
+        a, b = np.sin(t), np.sin(t - 0.5)
+        euc = float(np.abs(a - b).sum())
+        assert dtw_distance(a, b) < euc
+
+    def test_symmetric_zero_diagonal(self):
+        d = pairwise_dtw(series(t=15, v=4, seed=12))
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_array_equal(np.diag(d), 0.0)
+
+    def test_adjacency_unit_interval(self):
+        a = dtw_adjacency(series(t=20, v=5, seed=13), window=5)
+        assert (a >= 0).all() and (a <= 1).all()
+        np.testing.assert_array_equal(np.diag(a), 0.0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            pairwise_dtw(series(), window=-1)
+        with pytest.raises(ValueError):
+            pairwise_dtw(np.zeros(5))
+
+    def test_single_variable_returns_zero_matrix(self):
+        d = pairwise_dtw(np.random.default_rng(14).standard_normal((10, 1)))
+        np.testing.assert_array_equal(d, np.zeros((1, 1)))
+
+
+class TestCorrelation:
+    def test_matches_numpy_corrcoef(self):
+        x = series(seed=15)
+        np.testing.assert_allclose(correlation_matrix(x),
+                                   np.corrcoef(x.T), atol=1e-10)
+
+    def test_constant_column_is_zero_not_nan(self):
+        x = series(seed=16)
+        x[:, 2] = 4.0
+        c = correlation_matrix(x)
+        assert np.isfinite(c).all()
+        assert (c[2, [0, 1, 3, 4, 5]] == 0).all()
+        assert c[2, 2] == 1.0
+
+    def test_adjacency_absolute_values(self):
+        rng = np.random.default_rng(17)
+        base = rng.standard_normal(100)
+        x = np.stack([base, -base + 0.01 * rng.standard_normal(100)], axis=1)
+        a = correlation_adjacency(x)
+        assert a[0, 1] > 0.99  # strong negative correlation -> strong edge
+
+    def test_needs_two_time_points(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.zeros((1, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (12, 3), elements=st.floats(-10, 10)))
+    def test_property_values_bounded(self, x):
+        c = correlation_matrix(x)
+        assert (np.abs(c) <= 1.0 + 1e-12).all()
+        assert np.isfinite(c).all()

@@ -1,0 +1,197 @@
+"""Tests for sparsification, random graphs, learned-graph prep, properties,
+and the unified build_adjacency dispatcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (GraphMethod, build_adjacency, density, degree_stats,
+                          graph_correlation, is_symmetric,
+                          prepare_learned_graph, random_adjacency, random_like,
+                          sparsify, summarize)
+
+
+def dense_graph(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n))
+    a = (a + a.T) / 2
+    np.fill_diagonal(a, 0.0)
+    return a
+
+
+class TestSparsify:
+    def test_keep_all_returns_copy_with_zero_diagonal(self):
+        a = dense_graph()
+        out = sparsify(a, 1.0)
+        np.testing.assert_allclose(out, a)
+        out[0, 1] = -99
+        assert a[0, 1] != -99
+
+    def test_edge_count_matches_fraction(self):
+        a = dense_graph(10, seed=1)
+        total = 10 * 9 // 2
+        out = sparsify(a, 0.2)
+        kept = int((np.triu(out, k=1) > 0).sum())
+        assert kept == round(0.2 * total)
+
+    def test_keeps_strongest_edges(self):
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 0] = 0.9
+        a[2, 3] = a[3, 2] = 0.8
+        a[0, 2] = a[2, 0] = 0.1
+        a[1, 3] = a[3, 1] = 0.05
+        out = sparsify(a, 0.5)
+        assert out[0, 1] == 0.9 and out[2, 3] == 0.8
+        assert out[0, 2] == 0.0 and out[1, 3] == 0.0
+
+    def test_output_symmetric(self):
+        out = sparsify(dense_graph(seed=2), 0.4)
+        assert is_symmetric(out)
+
+    def test_counts_only_present_edges(self):
+        a = np.zeros((6, 6))
+        a[0, 1] = a[1, 0] = 1.0
+        a[2, 3] = a[3, 2] = 0.5
+        out = sparsify(a, 0.5)  # 50% of the 2 present edges -> 1 edge
+        assert int((np.triu(out, k=1) > 0).sum()) == 1
+
+    def test_validates_fraction(self):
+        with pytest.raises(ValueError):
+            sparsify(dense_graph(), 0.0)
+        with pytest.raises(ValueError):
+            sparsify(dense_graph(), 1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.05, 1.0))
+    def test_property_monotone_edge_count(self, frac):
+        a = dense_graph(9, seed=3)
+        sparse = sparsify(a, frac)
+        assert density(sparse) <= density(a) + 1e-12
+        # Every kept edge exists in the original with the same weight.
+        mask = sparse > 0
+        np.testing.assert_allclose(sparse[mask], a[mask])
+
+
+class TestRandomGraphs:
+    def test_exact_edge_count(self):
+        a = random_adjacency(10, 12, np.random.default_rng(4))
+        assert int((np.triu(a, k=1) > 0).sum()) == 12
+        assert is_symmetric(a)
+        np.testing.assert_array_equal(np.diag(a), 0.0)
+
+    def test_random_like_matches_reference_edge_count(self):
+        ref = sparsify(dense_graph(8, seed=5), 0.3)
+        rand = random_like(ref, np.random.default_rng(6))
+        ref_edges = int((np.triu(ref, k=1) > 0).sum())
+        rand_edges = int((np.triu(rand, k=1) > 0).sum())
+        assert rand_edges == ref_edges
+
+    def test_weights_in_unit_interval(self):
+        a = random_adjacency(6, 8, np.random.default_rng(7))
+        weights = a[a > 0]
+        assert (weights > 0).all() and (weights <= 1).all()
+
+    def test_deterministic_under_seed(self):
+        a = random_adjacency(6, 5, np.random.default_rng(8))
+        b = random_adjacency(6, 5, np.random.default_rng(8))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            random_adjacency(4, 100, np.random.default_rng(9))
+        with pytest.raises(ValueError):
+            random_like(np.zeros((2, 3)), np.random.default_rng(10))
+
+
+class TestPrepareLearnedGraph:
+    def test_symmetric_unit_scaled(self):
+        rng = np.random.default_rng(11)
+        learned = rng.random((6, 6)) * 3
+        out = prepare_learned_graph(learned)
+        assert is_symmetric(out)
+        assert out.max() == pytest.approx(1.0)
+        np.testing.assert_array_equal(np.diag(out), 0.0)
+
+    def test_edge_matching_reduces_density(self):
+        rng = np.random.default_rng(12)
+        learned = rng.random((8, 8))
+        ref = sparsify(dense_graph(8, seed=13), 0.2)
+        out = prepare_learned_graph(learned, match_edges_of=ref)
+        ref_edges = int((np.triu(ref, k=1) > 0).sum())
+        out_edges = int((np.triu(out, k=1) > 0).sum())
+        assert out_edges == ref_edges
+
+    def test_zero_graph_passthrough(self):
+        out = prepare_learned_graph(np.zeros((4, 4)))
+        np.testing.assert_array_equal(out, np.zeros((4, 4)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            prepare_learned_graph(-np.ones((3, 3)))
+
+
+class TestProperties:
+    def test_graph_correlation_identity(self):
+        a = dense_graph(seed=14)
+        assert graph_correlation(a, a) == pytest.approx(1.0)
+
+    def test_graph_correlation_anti(self):
+        a = dense_graph(seed=15)
+        assert graph_correlation(a, -a + a.max()) == pytest.approx(-1.0)
+
+    def test_graph_correlation_constant_graph_is_zero(self):
+        a = dense_graph(seed=16)
+        assert graph_correlation(a, np.ones_like(a)) == 0.0
+
+    def test_graph_correlation_shape_check(self):
+        with pytest.raises(ValueError):
+            graph_correlation(np.zeros((3, 3)), np.zeros((4, 4)))
+
+    def test_density_of_empty_and_full(self):
+        assert density(np.zeros((5, 5))) == 0.0
+        assert density(dense_graph(5, seed=17)) == pytest.approx(1.0)
+
+    def test_degree_stats_keys(self):
+        stats = degree_stats(dense_graph(seed=18))
+        assert set(stats) == {"mean", "std", "min", "max"}
+
+    def test_summarize(self):
+        info = summarize(dense_graph(6, seed=19))
+        assert info["nodes"] == 6
+        assert info["symmetric"] is True or info["symmetric"] == True  # noqa: E712
+
+
+class TestBuildAdjacency:
+    def test_all_static_methods_produce_valid_graphs(self):
+        x = np.random.default_rng(20).standard_normal((30, 6))
+        for method in ["euclidean", "knn", "dtw", "correlation"]:
+            kwargs = {"k": 2} if method == "knn" else {}
+            a = build_adjacency(x, method, keep_fraction=0.4, **kwargs)
+            assert a.shape == (6, 6)
+            assert (a >= 0).all()
+            assert is_symmetric(a)
+
+    def test_random_requires_rng(self):
+        x = np.zeros((10, 4))
+        with pytest.raises(ValueError):
+            build_adjacency(x, "random")
+        a = build_adjacency(x, "random", keep_fraction=0.5,
+                            rng=np.random.default_rng(21))
+        assert a.shape == (4, 4)
+
+    def test_random_edge_count_scales_with_gdt(self):
+        x = np.zeros((10, 8))
+        sparse = build_adjacency(x, "random", keep_fraction=0.2,
+                                 rng=np.random.default_rng(22))
+        dense = build_adjacency(x, "random", keep_fraction=1.0,
+                                rng=np.random.default_rng(22))
+        assert (np.triu(sparse, 1) > 0).sum() < (np.triu(dense, 1) > 0).sum()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            build_adjacency(np.zeros((5, 3)), "chebyshev-distance")
+
+    def test_labels_cover_all_methods(self):
+        for name in ["euclidean", "knn", "dtw", "correlation", "random", "learned"]:
+            assert name in GraphMethod.LABELS

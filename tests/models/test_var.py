@@ -1,0 +1,90 @@
+"""Tests for the classical VAR and naive-mean baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_windows, split_windows
+from repro.models import NaiveMeanForecaster, VARForecaster
+
+
+def var1_series(t=2000, v=4, rho=0.7, noise=0.3, seed=0):
+    """A true VAR(1) process the estimator should nail."""
+    rng = np.random.default_rng(seed)
+    coeffs = rho * np.eye(v)
+    coeffs[0, 1] = 0.2  # one cross-lagged effect
+    x = np.zeros((t, v))
+    state = rng.standard_normal(v)
+    for i in range(t):
+        state = coeffs @ state + noise * rng.standard_normal(v)
+        x[i] = state
+    return x, coeffs
+
+
+class TestVARForecaster:
+    def test_recovers_var1_coefficients(self):
+        series, true_coeffs = var1_series()
+        windows = make_windows(series, 1)
+        model = VARForecaster(4, 1, ridge=0.1).fit_windows(windows)
+        estimated = model.coefficient_matrices()[0]
+        np.testing.assert_allclose(estimated, true_coeffs, atol=0.1)
+
+    def test_beats_naive_on_var_data(self):
+        series, _ = var1_series(seed=1)
+        split = split_windows(series, 1)
+        var = VARForecaster(4, 1).fit_windows(split.train)
+        naive = NaiveMeanForecaster(4, 1).fit_windows(split.train)
+        var_mse = np.mean((var.predict(split.test.inputs) - split.test.targets) ** 2)
+        naive_mse = np.mean((naive.predict(split.test.inputs) - split.test.targets) ** 2)
+        assert var_mse < 0.7 * naive_mse
+
+    def test_multilag_fit(self):
+        series, _ = var1_series(seed=2)
+        windows = make_windows(series, 3)
+        model = VARForecaster(4, 3).fit_windows(windows)
+        assert model.coefficient_matrices().shape == (3, 4, 4)
+        pred = model.predict(windows.inputs)
+        assert pred.shape == windows.targets.shape
+
+    def test_forecaster_interface(self):
+        series, _ = var1_series(seed=3)
+        windows = make_windows(series, 2)
+        model = VARForecaster(4, 2).fit_windows(windows)
+        from repro.autodiff import Tensor
+
+        out = model(Tensor(windows.inputs[:5]))
+        assert out.shape == (5, 4)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            VARForecaster(3, 1).predict(np.zeros((2, 1, 3)))
+
+    def test_ridge_validation(self):
+        with pytest.raises(ValueError):
+            VARForecaster(3, 1, ridge=-1.0)
+
+    def test_strong_ridge_shrinks_coefficients(self):
+        series, _ = var1_series(seed=4)
+        windows = make_windows(series, 1)
+        weak = VARForecaster(4, 1, ridge=0.1).fit_windows(windows)
+        strong = VARForecaster(4, 1, ridge=1e6).fit_windows(windows)
+        assert np.abs(strong.coefficient_matrices()).sum() < \
+            0.01 * np.abs(weak.coefficient_matrices()).sum()
+
+
+class TestNaiveMean:
+    def test_predicts_training_mean(self):
+        rng = np.random.default_rng(5)
+        series = rng.standard_normal((50, 3)) + np.array([1.0, -2.0, 0.0])
+        windows = make_windows(series, 1)
+        model = NaiveMeanForecaster(3, 1).fit_windows(windows)
+        pred = model.predict(windows.inputs[:4])
+        np.testing.assert_allclose(pred, np.tile(windows.targets.mean(0), (4, 1)))
+
+    def test_mse_one_on_standardized_data(self):
+        rng = np.random.default_rng(6)
+        series = rng.standard_normal((4000, 2))
+        series = (series - series.mean(0)) / series.std(0)
+        windows = make_windows(series, 1)
+        model = NaiveMeanForecaster(2, 1).fit_windows(windows)
+        mse = np.mean((model.predict(windows.inputs) - windows.targets) ** 2)
+        assert mse == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,111 @@
+"""Tests for the GTS-style graph learner (future-work module)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mse
+from repro.nn import GTSGraphLearner, series_node_features
+from repro.optim import Adam
+
+
+def series(t=80, v=6, seed=0):
+    return np.random.default_rng(seed).standard_normal((t, v))
+
+
+class TestSeriesNodeFeatures:
+    def test_shape_and_standardization(self):
+        f = series_node_features(series(), projection_dim=4)
+        assert f.shape == (6, 1 + 3 + 2 + 4)  # std + 3 lags + skew/kurt + proj
+        np.testing.assert_allclose(f.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_correlated_nodes_have_similar_projections(self):
+        rng = np.random.default_rng(1)
+        base = rng.standard_normal(200)
+        x = np.stack([base, base + 0.05 * rng.standard_normal(200),
+                      rng.standard_normal(200)], axis=1)
+        f = series_node_features(x, projection_dim=6)
+        proj = f[:, -6:]
+        close = np.linalg.norm(proj[0] - proj[1])
+        far = np.linalg.norm(proj[0] - proj[2])
+        assert close < far
+
+    def test_constant_column_safe(self):
+        x = series(seed=2)
+        x[:, 3] = 2.0
+        assert np.isfinite(series_node_features(x)).all()
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            series_node_features(np.zeros(10))
+        with pytest.raises(ValueError):
+            series_node_features(np.zeros((3, 2)), max_lag=3)
+
+
+class TestGTSGraphLearner:
+    def test_adjacency_properties(self):
+        learner = GTSGraphLearner(6, series(seed=3), rng=np.random.default_rng(0))
+        adjacency = learner().data
+        assert adjacency.shape == (6, 6)
+        assert (adjacency >= 0).all() and (adjacency <= 1).all()
+        np.testing.assert_array_equal(np.diag(adjacency), 0.0)
+
+    def test_top_k_sparsity(self):
+        learner = GTSGraphLearner(8, series(v=8, seed=4), top_k=2,
+                                  rng=np.random.default_rng(0))
+        adjacency = learner().data
+        assert ((adjacency > 0).sum(axis=1) <= 2).all()
+
+    def test_gradients_reach_mlp(self):
+        learner = GTSGraphLearner(5, series(v=5, seed=5),
+                                  rng=np.random.default_rng(0))
+        (learner() ** 2).sum().backward()
+        grads = [p.grad for p in learner.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_learned_adjacency_is_detached_copy(self):
+        learner = GTSGraphLearner(4, series(v=4, seed=6),
+                                  rng=np.random.default_rng(0))
+        a = learner.learned_adjacency()
+        a[...] = 99.0
+        assert learner.learned_adjacency().max() <= 1.0
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            GTSGraphLearner(4, series(v=4), temperature=0.0)
+        with pytest.raises(ValueError):
+            GTSGraphLearner(4, series(v=4), top_k=10)
+        with pytest.raises(ValueError):
+            GTSGraphLearner(5, series(v=4))
+
+
+class TestMTGNNIntegration:
+    def test_mtgnn_with_gts_learner_trains(self):
+        from repro.models import MTGNN
+
+        rng = np.random.default_rng(7)
+        x_series = series(t=60, v=5, seed=8)
+        learner = GTSGraphLearner(5, x_series, rng=rng)
+        model = MTGNN(5, 2, custom_graph_learner=learner, hidden_size=8,
+                      num_layers=1, rng=rng)
+        x = rng.standard_normal((10, 2, 5))
+        y = rng.standard_normal((10, 5))
+        opt = Adam(model.parameters(), lr=0.01)
+        before = model.learned_graph()
+        for _ in range(5):
+            opt.zero_grad()
+            loss = mse(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert np.isfinite(loss.item())
+        assert not np.allclose(before, model.learned_graph())
+
+    def test_warm_start_rejected_for_custom_learner(self):
+        from repro.models import MTGNN
+
+        rng = np.random.default_rng(9)
+        learner = GTSGraphLearner(5, series(v=5, seed=10), rng=rng)
+        model = MTGNN(5, 2, custom_graph_learner=learner, hidden_size=8,
+                      num_layers=1, rng=rng)
+        with pytest.raises(NotImplementedError):
+            model.set_adjacency(np.zeros((5, 5)))

@@ -1,0 +1,126 @@
+"""Tests for basic layers: Linear, activations, Dropout, LayerNorm, containers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn import (ELU, Dropout, LayerNorm, LeakyReLU, Linear, ReLU,
+                      Sequential, Sigmoid, Tanh)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestLinear:
+    def test_forward_shape_any_rank(self):
+        layer = Linear(5, 3, rng=rng())
+        out = layer(Tensor(np.zeros((2, 7, 5))))
+        assert out.shape == (2, 7, 3)
+
+    def test_forward_matches_manual(self):
+        layer = Linear(4, 2, rng=rng())
+        x = rng(1).standard_normal((3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=rng())
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_rejects_wrong_last_dim(self):
+        with pytest.raises(ValueError):
+            Linear(4, 2, rng=rng())(Tensor(np.zeros((3, 5))))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients(self):
+        layer = Linear(3, 2, rng=rng(2))
+        x = Tensor(rng(3).standard_normal((4, 3)), requires_grad=True)
+        check_gradients(lambda x: (layer(x) ** 2).sum(), [x])
+        check_gradients(lambda w: ((x.detach() @ w.T) ** 2).sum(), [layer.weight])
+
+    def test_deterministic_under_seed(self):
+        a = Linear(4, 4, rng=np.random.default_rng(7))
+        b = Linear(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("module,reference", [
+        (ReLU(), lambda x: np.maximum(x, 0)),
+        (Tanh(), np.tanh),
+        (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+        (LeakyReLU(0.1), lambda x: np.where(x > 0, x, 0.1 * x)),
+        (ELU(1.0), lambda x: np.where(x > 0, x, np.exp(x) - 1)),
+    ])
+    def test_forward_matches_reference(self, module, reference):
+        x = rng(4).standard_normal((3, 5))
+        np.testing.assert_allclose(module(Tensor(x)).data, reference(x), atol=1e-12)
+
+    def test_elu_gradient(self):
+        x = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        check_gradients(lambda x: ELU(1.0)(x).sum(), [x])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=rng())
+        layer.eval()
+        x = rng(5).standard_normal((10, 10))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_train_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.4, rng=rng(6))
+        x = np.ones((200, 200))
+        out = layer(Tensor(x)).data
+        zero_fraction = (out == 0).mean()
+        assert zero_fraction == pytest.approx(0.4, abs=0.02)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.6)
+
+    def test_expected_value_preserved(self):
+        layer = Dropout(0.3, rng=rng(7))
+        out = layer(Tensor(np.ones((400, 400)))).data
+        assert out.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_p_zero_identity_even_in_train(self):
+        layer = Dropout(0.0)
+        x = rng(8).standard_normal((4, 4))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        layer = LayerNorm(6)
+        x = rng(9).standard_normal((4, 6)) * 5 + 3
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients(self):
+        layer = LayerNorm(4)
+        x = Tensor(rng(10).standard_normal((3, 4)), requires_grad=True)
+        check_gradients(lambda x: (layer(x) ** 2).sum(), [x], atol=1e-4)
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 5))))
+
+
+class TestSequential:
+    def test_chains_in_order(self):
+        seq = Sequential(Linear(3, 5, rng=rng(11)), ReLU(), Linear(5, 2, rng=rng(12)))
+        out = seq(Tensor(np.zeros((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)

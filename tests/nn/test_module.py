@@ -1,0 +1,96 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Module, ModuleList, Parameter, Sequential, Tanh
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.first = Linear(4, 8, rng=rng)
+        self.second = Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh())
+
+
+class TestRegistration:
+    def test_parameters_are_collected(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["first.weight", "first.bias", "second.weight", "second.bias"]
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modulelist_registers_children(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = ModuleList([Linear(2, 2), Linear(2, 2)])
+
+        assert len(list(Net().parameters())) == 4
+
+    def test_modules_traversal_includes_self(self):
+        net = TinyNet()
+        mods = list(net.modules())
+        assert mods[0] is net
+        assert len(mods) == 3
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        seq = Sequential(Linear(3, 3), Dropout(0.5), Tanh())
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad_clears(self):
+        net = TinyNet()
+        from repro.autodiff import Tensor
+
+        out = net(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyNet(), TinyNet()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["first.weight"][...] = 0.0
+        assert not np.allclose(net.first.weight.data, 0.0)
+
+    def test_load_rejects_missing_keys(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["first.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_rejects_bad_shape(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestParameter:
+    def test_parameter_is_float64_and_requires_grad(self):
+        p = Parameter(np.ones(3, dtype=np.float32))
+        assert p.dtype == np.float64
+        assert p.requires_grad

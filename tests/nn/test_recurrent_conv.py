@@ -1,0 +1,164 @@
+"""Tests for recurrent cells and temporal convolutions."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn import (LSTM, DilatedInception, GRUCell, LSTMCell,
+                      TemporalConv2d)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestGRUCell:
+    def test_shapes_with_extra_batch_axes(self):
+        cell = GRUCell(3, 8, rng=rng())
+        x = Tensor(rng(1).standard_normal((5, 26, 3)))  # (samples, nodes, feat)
+        h = cell.initial_state((5, 26))
+        out = cell(x, h)
+        assert out.shape == (5, 26, 8)
+
+    def test_state_bounded_by_tanh(self):
+        cell = GRUCell(2, 4, rng=rng(2))
+        h = cell.initial_state((3,))
+        for t in range(50):
+            h = cell(Tensor(rng(t).standard_normal((3, 2)) * 10), h)
+        assert np.abs(h.data).max() <= 1.0 + 1e-9
+
+    def test_zero_update_gate_keeps_candidate(self):
+        cell = GRUCell(2, 3, rng=rng(3))
+        # Force update gate to ~0 => h_new ~ candidate (bounded by tanh)
+        cell.gates.bias.data[:3] = -50.0
+        h = Tensor(np.ones((1, 3)) * 0.9)
+        out = cell(Tensor(np.zeros((1, 2))), h)
+        assert not np.allclose(out.data, h.data)
+
+    def test_input_size_validation(self):
+        cell = GRUCell(3, 4, rng=rng())
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros((2, 5))), cell.initial_state((2,)))
+
+    def test_gradients_flow_through_time(self):
+        cell = GRUCell(2, 3, rng=rng(4))
+        x1 = Tensor(rng(5).standard_normal((2, 2)), requires_grad=True)
+        x2 = Tensor(rng(6).standard_normal((2, 2)), requires_grad=True)
+
+        def run(x1, x2):
+            h = cell.initial_state((2,))
+            h = cell(x1, h)
+            h = cell(x2, h)
+            return (h * h).sum()
+
+        check_gradients(run, [x1, x2], atol=1e-4)
+
+
+class TestLSTMCell:
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 4, rng=rng())
+        np.testing.assert_array_equal(cell.gates.bias.data[4:8], np.ones(4))
+
+    def test_step_shapes(self):
+        cell = LSTMCell(3, 5, rng=rng(7))
+        h, c = cell.initial_state((4,))
+        h2, c2 = cell(Tensor(np.zeros((4, 3))), (h, c))
+        assert h2.shape == (4, 5)
+        assert c2.shape == (4, 5)
+
+    def test_gradient(self):
+        cell = LSTMCell(2, 3, rng=rng(8))
+        x = Tensor(rng(9).standard_normal((2, 2)), requires_grad=True)
+
+        def run(x):
+            h, c = cell.initial_state((2,))
+            h, c = cell(x, (h, c))
+            return (h * h).sum()
+
+        check_gradients(run, [x], atol=1e-4)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = LSTM(4, 8, rng=rng(10))
+        outputs, (h, c) = lstm(Tensor(rng(11).standard_normal((5, 7, 4))))
+        assert outputs.shape == (5, 7, 8)
+        assert h.shape == (5, 8)
+        assert c.shape == (5, 8)
+
+    def test_stacked_layers(self):
+        lstm = LSTM(4, 8, num_layers=2, rng=rng(12))
+        outputs, _ = lstm(Tensor(np.zeros((2, 3, 4))))
+        assert outputs.shape == (2, 3, 8)
+        assert len(list(lstm.parameters())) == 4  # 2 layers x (weight, bias)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            LSTM(4, 8, rng=rng())(Tensor(np.zeros((5, 4))))
+
+    def test_final_state_is_last_output(self):
+        lstm = LSTM(2, 3, rng=rng(13))
+        outputs, (h, _) = lstm(Tensor(rng(14).standard_normal((2, 6, 2))))
+        np.testing.assert_allclose(outputs.data[:, -1, :], h.data)
+
+    def test_single_layer_gradients(self):
+        lstm = LSTM(2, 3, rng=rng(15))
+        x = Tensor(rng(16).standard_normal((2, 3, 2)), requires_grad=True)
+        check_gradients(lambda x: (lstm(x)[0] ** 2).sum(), [x], atol=1e-4)
+
+
+class TestTemporalConv2d:
+    def test_valid_conv_output_length(self):
+        conv = TemporalConv2d(2, 4, kernel_size=3, rng=rng(17))
+        out = conv(Tensor(np.zeros((1, 2, 5, 10))))
+        assert out.shape == (1, 4, 5, 8)
+
+    def test_causal_pad_preserves_length(self):
+        conv = TemporalConv2d(2, 4, kernel_size=3, dilation=2, causal_pad=True, rng=rng(18))
+        out = conv(Tensor(np.zeros((1, 2, 5, 7))))
+        assert out.shape == (1, 4, 5, 7)
+
+    def test_causal_no_future_leakage(self):
+        conv = TemporalConv2d(1, 1, kernel_size=3, causal_pad=True, rng=rng(19))
+        x = np.zeros((1, 1, 1, 10))
+        base = conv(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[..., 7] = 100.0  # perturb a future step
+        out = conv(Tensor(x2)).data
+        np.testing.assert_array_equal(out[..., :7], base[..., :7])
+
+    def test_short_input_is_padded(self):
+        conv = TemporalConv2d(1, 2, kernel_size=3, rng=rng(20))
+        out = conv(Tensor(np.zeros((1, 1, 4, 1))))  # T=1 < kernel
+        assert out.shape[-1] == 1
+
+    def test_matches_manual_convolution(self):
+        conv = TemporalConv2d(1, 1, kernel_size=2, rng=rng(21))
+        x = rng(22).standard_normal((1, 1, 1, 5))
+        out = conv(Tensor(x)).data[0, 0, 0]
+        w = conv.weight.data[0, 0]
+        expected = np.array([x[0, 0, 0, t] * w[0] + x[0, 0, 0, t + 1] * w[1]
+                             for t in range(4)]) + conv.bias.data[0]
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_gradients(self):
+        conv = TemporalConv2d(2, 3, kernel_size=2, rng=rng(23))
+        x = Tensor(rng(24).standard_normal((2, 2, 3, 5)), requires_grad=True)
+        check_gradients(lambda x: (conv(x) ** 2).sum(), [x], atol=1e-4)
+        check_gradients(lambda w: (conv(x.detach()) ** 2).sum(), [conv.weight], atol=1e-4)
+
+    def test_validates_input(self):
+        conv = TemporalConv2d(2, 3, kernel_size=2)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 5, 4, 6))))
+
+
+class TestDilatedInception:
+    def test_concatenates_branches(self):
+        layer = DilatedInception(2, 8, kernel_sizes=(2, 3), rng=rng(25))
+        out = layer(Tensor(np.zeros((1, 2, 4, 6))))
+        assert out.shape == (1, 8, 4, 6)
+
+    def test_rejects_uneven_split(self):
+        with pytest.raises(ValueError):
+            DilatedInception(2, 7, kernel_sizes=(2, 3))

@@ -1,0 +1,149 @@
+"""Tests for SGD, Adam, gradient clipping, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mse
+from repro.nn import Linear, Parameter
+from repro.optim import (SGD, Adam, ReduceLROnPlateau, StepLR, clip_grad_norm,
+                         clip_grad_value)
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+def minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(SGD([p], lr=0.1), p)) < 1e-6
+
+    def test_momentum_accelerates(self):
+        p_plain, p_momentum = quadratic_param(), quadratic_param()
+        minimize(SGD([p_plain], lr=0.01), p_plain, steps=50)
+        minimize(SGD([p_momentum], lr=0.01, momentum=0.9), p_momentum, steps=50)
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        loss = (p * 0.0).sum()  # zero data gradient
+        loss.backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()  # no backward -> no grad; must not raise
+        assert p.data[0] == 5.0
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimize(Adam([p], lr=0.1), p, steps=400)) < 1e-4
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.standard_normal((3, 1))
+        x = rng.standard_normal((64, 3))
+        y = x @ true_w
+        model = Linear(3, 1, rng=rng)
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(model.weight.data.T, true_w, atol=0.02)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |first step| ~= lr regardless of grad scale.
+        p = Parameter(np.array([1000.0]))
+        opt = Adam([p], lr=0.01)
+        (p * p).sum().backward()
+        opt.step()
+        assert abs(1000.0 - p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_validates_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.999))
+
+
+class TestClipping:
+    def test_clip_grad_norm_scales_down(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([3.0, 4.0])
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_noop_when_small(self):
+        p = Parameter(np.array([0.1]))
+        p.grad = np.array([0.1])
+        clip_grad_norm([p], max_norm=1.0)
+        assert p.grad[0] == pytest.approx(0.1)
+
+    def test_clip_grad_value(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([-5.0, 0.2, 7.0])
+        clip_grad_value([p], 1.0)
+        np.testing.assert_allclose(p.grad, [-1.0, 0.2, 1.0])
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+        with pytest.raises(ValueError):
+            clip_grad_value([], -1.0)
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_reduce_on_plateau(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = ReduceLROnPlateau(opt, patience=2, factor=0.5)
+        sched.step(1.0)   # best
+        sched.step(1.0)   # stale 1
+        sched.step(1.0)   # stale 2 -> reduce
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_reduce_on_plateau_resets_on_improvement(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = ReduceLROnPlateau(opt, patience=2, factor=0.5)
+        sched.step(1.0)
+        sched.step(0.9)
+        sched.step(0.95)
+        sched.step(0.8)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_min_lr_respected(self):
+        opt = SGD([quadratic_param()], lr=2e-5)
+        sched = ReduceLROnPlateau(opt, patience=1, factor=0.1, min_lr=1e-5)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-5)
