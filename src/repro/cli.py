@@ -9,7 +9,9 @@ Examples
     ema-gnn table3  --profile tiny            # Experiment B  (Table III)
     ema-gnn fig3    --profile tiny            # Experiment C  (Fig. 3)
     ema-gnn scenarios                         # Table I factor grid
-    ema-gnn table2  --profile paper           # full-scale run (hours)
+    ema-gnn table2  --profile paper \\
+            --jobs 8 --checkpoint t2.ckpt     # full-scale run: 8 workers,
+                                              # resumable via the checkpoint
 """
 
 from __future__ import annotations
@@ -21,8 +23,16 @@ import time
 from .experiments import (PROFILES, make_dataset, run_experiment_a,
                           run_experiment_b, run_experiment_c, scenario_grid,
                           TABLE1)
+from .training import ParallelConfig
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("table2", "table3"):
             cmd.add_argument("--out", default=None, metavar="DIR",
                              help="also write CSV + Markdown results here")
+        if name in ("table2", "table3", "fig3"):
+            cmd.add_argument("--jobs", type=_positive_int, default=1,
+                             metavar="N",
+                             help="worker processes for the cohort loop "
+                                  "(1 = serial; results are identical)")
+            cmd.add_argument("--checkpoint", default=None, metavar="FILE",
+                             help="journal completed cells here and resume "
+                                  "an interrupted run from it")
     return parser
 
 
@@ -94,6 +112,22 @@ def _progress(args):
     return report
 
 
+def _parallel(args):
+    """Build the cohort scheduler config from ``--jobs``/``--checkpoint``."""
+    if not hasattr(args, "jobs"):
+        return None
+    cell_progress = None
+    if not args.quiet:
+        def cell_progress(done: int, total: int, label: str,
+                          eta: float | None) -> None:
+            eta_text = "" if eta is None \
+                else f", eta {int(eta) // 60:02d}:{int(eta) % 60:02d}"
+            print(f"    cell {done}/{total}{eta_text} — {label}",
+                  file=sys.stderr)
+    return ParallelConfig(jobs=args.jobs, checkpoint=args.checkpoint,
+                          progress=cell_progress)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -124,7 +158,8 @@ def main(argv: list[str] | None = None) -> int:
     runner = {"table2": run_experiment_a,
               "table3": run_experiment_b,
               "fig3": run_experiment_c}[args.command]
-    result = runner(dataset, config, progress=_progress(args))
+    result = runner(dataset, config, progress=_progress(args),
+                    parallel=_parallel(args))
     print(result.render())
     if getattr(args, "out", None):
         _export_table(result, args.command, args.out)

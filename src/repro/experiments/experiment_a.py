@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..data import EMADataset
 from ..evaluation import CohortScore, format_table, score_results
 from ..graphs.adjacency import GraphMethod
-from ..training import IndividualResult, run_cohort
+from ..training import GraphCache, IndividualResult, ParallelConfig, run_cohort
 from .config import ExperimentConfig
 
 __all__ = ["ExperimentAResult", "run_experiment_a"]
@@ -45,14 +45,18 @@ class ExperimentAResult:
 
 
 def run_experiment_a(dataset: EMADataset, config: ExperimentConfig,
-                     progress=None) -> ExperimentAResult:
+                     progress=None,
+                     parallel: ParallelConfig | None = None) -> ExperimentAResult:
     """Run the full Table II grid.
 
     ``progress`` is an optional callable ``(label: str) -> None`` invoked
-    before each condition (used by the CLI for live output).
+    before each condition (used by the CLI for live output); ``parallel``
+    configures the cohort scheduler (workers, checkpoint, per-cell
+    progress).
     """
     config.apply_dtype()
     trainer_config = config.trainer_config()
+    graph_cache = GraphCache()
     columns = tuple(f"Seq{s}" for s in config.seq_lens)
     rows: dict[str, dict[str, CohortScore]] = {}
     raw: dict[tuple[str, str], list[IndividualResult]] = {}
@@ -76,6 +80,8 @@ def run_experiment_a(dataset: EMADataset, config: ExperimentConfig,
                 model_config=config.model,
                 base_seed=config.seed,
                 graph_kwargs=config.graph_kwargs(method) if method else {},
+                parallel=parallel,
+                graph_cache=graph_cache,
             )
             rows[label][f"Seq{seq_len}"] = score_results(results)
             raw[(label, f"Seq{seq_len}")] = results

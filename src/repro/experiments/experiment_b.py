@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from ..data import EMADataset
 from ..evaluation import CohortScore, format_table, score_results
 from ..graphs.adjacency import GraphMethod
-from ..training import IndividualResult, run_cohort
+from ..training import GraphCache, IndividualResult, ParallelConfig, run_cohort
 from .config import ExperimentConfig
 
 __all__ = ["ExperimentBResult", "run_experiment_b"]
@@ -40,10 +40,12 @@ class ExperimentBResult:
 
 
 def run_experiment_b(dataset: EMADataset, config: ExperimentConfig,
-                     progress=None) -> ExperimentBResult:
+                     progress=None,
+                     parallel: ParallelConfig | None = None) -> ExperimentBResult:
     """Run the full Table III grid."""
     config.apply_dtype()
     trainer_config = config.trainer_config()
+    graph_cache = GraphCache()
     seq_len = TABLE3_SEQ_LEN if TABLE3_SEQ_LEN in config.seq_lens \
         else max(config.seq_lens)
     columns = tuple(f"GDT={int(g * 100)}%" for g in config.gdts)
@@ -68,6 +70,8 @@ def run_experiment_b(dataset: EMADataset, config: ExperimentConfig,
                     base_seed=config.seed,
                     num_random_repeats=config.num_random_repeats,
                     graph_kwargs=config.graph_kwargs(method),
+                    parallel=parallel,
+                    graph_cache=graph_cache,
                 )
                 rows[label][column] = score_results(results)
                 raw[(label, column)] = results

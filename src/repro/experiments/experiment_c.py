@@ -26,7 +26,7 @@ from ..evaluation import (BoxplotStats, boxplot_stats, cohort_score,
 from ..evaluation.metrics import CohortScore
 from ..graphs import graph_correlation, prepare_learned_graph
 from ..graphs.adjacency import GraphMethod
-from ..training import IndividualResult, run_cohort
+from ..training import GraphCache, IndividualResult, ParallelConfig, run_cohort
 from .config import ExperimentConfig
 
 __all__ = ["ExperimentCResult", "ConditionDistribution", "run_experiment_c"]
@@ -89,10 +89,12 @@ def _per_individual(results: list[IndividualResult]) -> dict[str, float]:
 
 
 def run_experiment_c(dataset: EMADataset, config: ExperimentConfig,
-                     progress=None) -> ExperimentCResult:
+                     progress=None,
+                     parallel: ParallelConfig | None = None) -> ExperimentCResult:
     """Run the full Fig. 3 pipeline."""
     config.apply_dtype()
     trainer_config = config.trainer_config()
+    graph_cache = GraphCache()
     seq_len = FIG3_SEQ_LEN if FIG3_SEQ_LEN in config.seq_lens else max(config.seq_lens)
     distributions: list[ConditionDistribution] = []
     pct: dict[str, dict[str, float]] = {}
@@ -113,7 +115,8 @@ def run_experiment_c(dataset: EMADataset, config: ExperimentConfig,
             keep_fraction=FIG3_GDT, trainer_config=trainer_config,
             model_config=config.model, base_seed=config.seed,
             graph_kwargs=config.graph_kwargs(method),
-            export_learned_graphs=True)
+            export_learned_graphs=True,
+            parallel=parallel, graph_cache=graph_cache)
         mtgnn_scores[label] = cohort_score([r.test_mse for r in results])
         raw[("mtgnn", label)] = results
         static_graphs[method] = {r.identifier: r.static_graph for r in results}
@@ -136,13 +139,15 @@ def run_experiment_c(dataset: EMADataset, config: ExperimentConfig,
                 dataset, model, seq_len, graph_method=method,
                 keep_fraction=FIG3_GDT, trainer_config=trainer_config,
                 model_config=config.model, base_seed=config.seed,
-                graph_kwargs=config.graph_kwargs(method))
+                graph_kwargs=config.graph_kwargs(method),
+                parallel=parallel, graph_cache=graph_cache)
             learned_results = run_cohort(
                 dataset, model, seq_len,
                 graph_method=f"{method}_learned",
                 graphs=learned_graphs[method],
                 keep_fraction=FIG3_GDT, trainer_config=trainer_config,
-                model_config=config.model, base_seed=config.seed)
+                model_config=config.model, base_seed=config.seed,
+                parallel=parallel, graph_cache=graph_cache)
             for name, results in ((label, static_results),
                                   (f"{label}_learned", learned_results)):
                 scores = [r.test_mse for r in results]

@@ -31,11 +31,16 @@ def random_adjacency(num_nodes: int, num_edges: int,
 
 
 def random_like(reference: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Random graph with the same node and undirected-edge count as ``reference``."""
+    """Random graph with the same node and undirected-edge count as ``reference``.
+
+    The reference is symmetrized first (as ``sparsify`` does), so a
+    directed adjacency — e.g. an MTGNN-learned graph with edges only in
+    one triangle — has its undirected edges counted exactly once.
+    """
     ref = np.asarray(reference)
     if ref.ndim != 2 or ref.shape[0] != ref.shape[1]:
         raise ValueError(f"reference must be square, got {ref.shape}")
     n = ref.shape[0]
-    upper = np.triu(ref, k=1)
+    upper = np.triu((ref + ref.T) / 2.0, k=1)
     num_edges = int((upper > 0).sum())
     return random_adjacency(n, num_edges, rng)

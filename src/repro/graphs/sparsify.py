@@ -17,7 +17,9 @@ def sparsify(adjacency: np.ndarray, keep_fraction: float) -> np.ndarray:
 
     ``keep_fraction`` is the GDT: 1.0 returns the graph unchanged, 0.2 keeps
     the strongest 20 % of currently-present edges (ties broken by index
-    order, deterministically).
+    order, deterministically).  Strength is the *magnitude* of the
+    symmetrized weight, so a strong negative association outranks a weak
+    positive one; kept edges retain their signed weight.
     """
     if not 0.0 < keep_fraction <= 1.0:
         raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
@@ -31,12 +33,13 @@ def sparsify(adjacency: np.ndarray, keep_fraction: float) -> np.ndarray:
     sym = (a + a.T) / 2.0
     rows, cols = np.triu_indices(a.shape[0], k=1)
     weights = sym[rows, cols]
-    present = weights > 0
+    magnitude = np.abs(weights)
+    present = magnitude > 0
     n_present = int(present.sum())
     n_keep = max(1, int(round(keep_fraction * n_present))) if n_present else 0
     out = np.zeros_like(sym)
     if n_keep:
-        order = np.argsort(-weights, kind="stable")[:n_keep]
+        order = np.argsort(-magnitude, kind="stable")[:n_keep]
         out[rows[order], cols[order]] = sym[rows[order], cols[order]]
         out[cols[order], rows[order]] = sym[rows[order], cols[order]]
     return out

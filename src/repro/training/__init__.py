@@ -1,9 +1,15 @@
 """Personalized training: full-batch trainer + cohort experiment loop."""
 
 from .history import TrainingHistory
-from .personalized import IndividualResult, run_cohort, run_individual
+from .parallel import (CohortCell, CohortCheckpoint, GraphCache,
+                       ParallelConfig, execute_cell, run_cells)
+from .personalized import (IndividualResult, aggregate_repeats,
+                           enumerate_cells, run_cohort, run_individual)
 from .seeding import derive_seed
 from .trainer import Trainer, TrainerConfig
 
 __all__ = ["TrainingHistory", "IndividualResult", "run_cohort",
-           "run_individual", "derive_seed", "Trainer", "TrainerConfig"]
+           "run_individual", "enumerate_cells", "aggregate_repeats",
+           "derive_seed", "Trainer", "TrainerConfig", "CohortCell",
+           "CohortCheckpoint", "GraphCache", "ParallelConfig",
+           "execute_cell", "run_cells"]

@@ -1,0 +1,248 @@
+"""Parallel cohort execution engine.
+
+Every paper artifact (Table II, Table III, Fig. 3) is a grid of completely
+independent (individual, model, graph) cells, so the cohort loop
+parallelizes embarrassingly well.  This module provides the machinery:
+
+* :class:`CohortCell` — one picklable unit of work (all random repeats of
+  one individual under one condition);
+* :func:`execute_cell` — runs a cell in any process, serial or worker;
+* :func:`run_cells` — the scheduler: serial for ``jobs=1``, a
+  ``ProcessPoolExecutor`` fan-out otherwise, with progress/ETA callbacks
+  and an append-only checkpoint journal for resumable full-scale runs;
+* :class:`GraphCache` — memoizes per-individual graph construction
+  (DTW especially) across model conditions that share a graph;
+* :class:`CohortCheckpoint` — the on-disk journal of completed cells.
+
+Determinism guarantee: every cell derives its seeds via
+:func:`~repro.training.seeding.derive_seed` and carries the default dtype
+it was enumerated under, so serial and parallel schedules produce
+bit-identical :class:`~repro.training.personalized.IndividualResult`\\ s
+regardless of worker count or completion order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..data.containers import Individual
+from ..models import ModelConfig
+from .trainer import TrainerConfig
+
+__all__ = ["CohortCell", "GraphCache", "CohortCheckpoint", "ParallelConfig",
+           "execute_cell", "run_cells"]
+
+
+@dataclass(frozen=True)
+class CohortCell:
+    """One schedulable unit of cohort work.
+
+    A cell bundles everything ``run_individual`` needs for all repeats of
+    one individual under one (model, graph, GDT, seq) condition.  Graphs
+    are pre-built at enumeration time (see
+    :func:`~repro.training.personalized.enumerate_cells`) so workers do
+    pure model training and the expensive constructions can be cached
+    across conditions in the parent process.
+    """
+
+    key: str
+    label: str
+    individual: Individual
+    model_name: str
+    seq_len: int
+    graph_method: str
+    graphs: tuple
+    seeds: tuple[int, ...]
+    trainer_config: TrainerConfig | None
+    model_config: ModelConfig | None
+    train_fraction: float
+    export_learned_graph: bool
+    #: Default dtype captured at enumeration time; workers re-apply it so
+    #: results are bit-identical to a serial run in the parent process.
+    dtype: str
+
+    def __post_init__(self):
+        if len(self.graphs) != len(self.seeds):
+            raise ValueError(
+                f"{len(self.graphs)} graphs but {len(self.seeds)} seeds")
+        if not self.seeds:
+            raise ValueError("a cell needs at least one repeat")
+
+
+def execute_cell(cell: CohortCell):
+    """Run all repeats of one cell and aggregate them into one result.
+
+    Importable at module level so ``ProcessPoolExecutor`` can ship it to
+    workers by reference; also the serial path, so both schedules share
+    one code path.
+    """
+    from ..autodiff import set_default_dtype
+    from .personalized import aggregate_repeats, run_individual
+
+    set_default_dtype(cell.dtype)
+    repeats = [
+        run_individual(cell.individual, cell.model_name, cell.seq_len, graph,
+                       graph_method=cell.graph_method,
+                       trainer_config=cell.trainer_config,
+                       model_config=cell.model_config,
+                       train_fraction=cell.train_fraction, seed=seed,
+                       export_learned_graph=cell.export_learned_graph)
+        for graph, seed in zip(cell.graphs, cell.seeds)
+    ]
+    return aggregate_repeats(repeats)
+
+
+class GraphCache:
+    """Memoizes per-individual graph construction across conditions.
+
+    Table II/III run every graph method against three GNNs, so without a
+    cache each (individual, method, GDT) graph — DTW costs a full dynamic
+    program per pair — is rebuilt once per model.  Experiments share one
+    cache across their ``run_cohort`` calls so it is built exactly once.
+    """
+
+    def __init__(self):
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, builder: Callable[[], np.ndarray]) -> np.ndarray:
+        """Return the cached graph for ``key``, building it on first use."""
+        if key in self._store:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._store[key] = builder()
+        return self._store[key]
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class CohortCheckpoint:
+    """Append-only journal of completed cells, keyed by ``CohortCell.key``.
+
+    Each record is one pickled ``(key, result)`` tuple appended to the
+    file, so an interrupted run loses at most the cell being written; a
+    truncated trailing record is ignored on load.  Keys encode the full
+    condition (individual, model, graph, seq, GDT, base seed), so one
+    checkpoint file safely spans every condition of an experiment.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._results: dict = {}
+        if self.path.exists():
+            with open(self.path, "rb") as handle:
+                while True:
+                    try:
+                        key, result = pickle.load(handle)
+                    except EOFError:
+                        break
+                    except (pickle.UnpicklingError, ValueError, TypeError):
+                        break  # truncated/corrupt tail from an interrupt
+                    self._results[key] = result
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, key: str):
+        return self._results[key]
+
+    def record(self, key: str, result) -> None:
+        """Persist one completed cell (flushed immediately)."""
+        self._results[key] = result
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            pickle.dump((key, result), handle)
+            handle.flush()
+
+
+@dataclass
+class ParallelConfig:
+    """How :func:`run_cells` schedules a cohort.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs serially in-process.
+        Results are bit-identical either way.
+    checkpoint:
+        A :class:`CohortCheckpoint` or a path to one.  Completed cells
+        found in it are reused; newly completed cells are appended.
+    progress:
+        Optional ``(done, total, label, eta_seconds)`` callback invoked
+        after every cell (``eta_seconds`` is ``None`` until estimable).
+    """
+
+    jobs: int = 1
+    checkpoint: CohortCheckpoint | str | Path | None = None
+    progress: Callable[[int, int, str, float | None], None] | None = field(
+        default=None, repr=False)
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if isinstance(self.checkpoint, (str, Path)):
+            self.checkpoint = CohortCheckpoint(self.checkpoint)
+
+
+def run_cells(cells: list[CohortCell],
+              config: ParallelConfig | None = None) -> list:
+    """Execute cells and return their results in input order.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans out over a
+    ``ProcessPoolExecutor``.  Checkpointed cells are served from the
+    journal without recomputation.
+    """
+    config = config if config is not None else ParallelConfig()
+    checkpoint = config.checkpoint
+    total = len(cells)
+    results: list = [None] * total
+    completed = 0
+    started = time.monotonic()
+
+    def report(label: str) -> None:
+        nonlocal completed
+        completed += 1
+        if config.progress is not None:
+            elapsed = time.monotonic() - started
+            remaining = total - completed
+            eta = elapsed / completed * remaining if elapsed > 0 else None
+            config.progress(completed, total, label, eta)
+
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        if checkpoint is not None and cell.key in checkpoint:
+            results[index] = checkpoint.get(cell.key)
+            report(f"{cell.label} [checkpoint]")
+        else:
+            pending.append(index)
+
+    def finish(index: int, result) -> None:
+        results[index] = result
+        if checkpoint is not None:
+            checkpoint.record(cells[index].key, result)
+        report(cells[index].label)
+
+    if config.jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, execute_cell(cells[index]))
+    elif pending:
+        workers = min(config.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_cell, cells[index]): index
+                       for index in pending}
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+    return results

@@ -4,6 +4,11 @@ The paper's framework (Fig. 1): one model per individual, trained on the
 first 70 % of that individual's recording, evaluated on the last 30 %, with
 the individual's *own* variable graph.  Graphs are constructed from the
 training segment only, so no test information leaks into the structure.
+
+The cohort loop is expressed as independent :class:`CohortCell` work items
+(one per individual per condition) executed by the scheduler in
+:mod:`repro.training.parallel` — serially by default, or across worker
+processes with identical results when ``parallel.jobs > 1``.
 """
 
 from __future__ import annotations
@@ -12,16 +17,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..autodiff import get_default_dtype
 from ..data.containers import EMADataset, Individual
 from ..data.splits import split_windows
 from ..graphs import build_adjacency
 from ..graphs.adjacency import GraphMethod
 from ..models import ModelConfig, create_model
 from ..models.mtgnn import MTGNN
+from .parallel import CohortCell, GraphCache, ParallelConfig, run_cells
 from .seeding import derive_seed
 from .trainer import Trainer, TrainerConfig
 
-__all__ = ["IndividualResult", "run_individual", "run_cohort"]
+__all__ = ["IndividualResult", "run_individual", "run_cohort",
+           "enumerate_cells", "aggregate_repeats"]
 
 
 @dataclass
@@ -36,6 +44,10 @@ class IndividualResult:
     learned_graph: np.ndarray | None = None
     static_graph: np.ndarray | None = None
     history: object = field(default=None, repr=False)
+    #: Per-repeat test MSEs (one entry per random-graph repeat; a single
+    #: entry otherwise), so cross-repeat spread stays recoverable after
+    #: averaging.
+    repeat_scores: tuple[float, ...] | None = None
 
 
 def _build_graph(individual: Individual, method: str, keep_fraction: float,
@@ -87,6 +99,108 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
     )
 
 
+def aggregate_repeats(repeats: list[IndividualResult]) -> IndividualResult:
+    """Collapse one cell's repeats into one per-individual result.
+
+    Single-repeat cells pass through (annotated with their score tuple);
+    random-graph cells average the repeats into one score while keeping
+    every repeat's test MSE on ``repeat_scores``.
+    """
+    if not repeats:
+        raise ValueError("need at least one repeat to aggregate")
+    scores = tuple(r.test_mse for r in repeats)
+    if len(repeats) == 1:
+        result = repeats[0]
+        result.repeat_scores = scores
+        return result
+    return IndividualResult(
+        identifier=repeats[0].identifier,
+        model_name=repeats[0].model_name,
+        graph_method=repeats[0].graph_method,
+        test_mse=float(np.mean(scores)),
+        train_mse=float(np.mean([r.train_mse for r in repeats])),
+        learned_graph=repeats[0].learned_graph,
+        static_graph=repeats[0].static_graph,
+        history=repeats[0].history,
+        repeat_scores=scores,
+    )
+
+
+def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
+                    graph_method: str = GraphMethod.CORRELATION,
+                    keep_fraction: float = 0.2,
+                    graphs: dict[str, np.ndarray] | None = None,
+                    trainer_config: TrainerConfig | None = None,
+                    model_config: ModelConfig | None = None,
+                    train_fraction: float = 0.7,
+                    base_seed: int = 0,
+                    num_random_repeats: int = 5,
+                    graph_kwargs: dict | None = None,
+                    export_learned_graphs: bool = False,
+                    graph_cache: GraphCache | None = None) -> list[CohortCell]:
+    """Expand one cohort condition into its independent work items.
+
+    Graphs are built here, in the enumerating process, so a shared
+    ``graph_cache`` deduplicates the expensive constructions (DTW
+    especially) across the model conditions of an experiment; workers
+    then receive ready-made adjacencies and do pure training.
+    """
+    graph_kwargs = dict(graph_kwargs or {})
+    cache = graph_cache if graph_cache is not None else GraphCache()
+    kwargs_key = tuple(sorted(graph_kwargs.items()))
+    dtype = np.dtype(get_default_dtype()).name
+    cells: list[CohortCell] = []
+    for individual in dataset:
+        boundary = int(round(train_fraction * individual.num_time_points))
+
+        def cached_graph(seed: int) -> np.ndarray:
+            key = (individual.identifier, graph_method, keep_fraction,
+                   kwargs_key, seed)
+            return cache.get(key, lambda: _build_graph(
+                individual, graph_method, keep_fraction, boundary, seed,
+                graph_kwargs))
+
+        if graphs is not None:
+            candidate_graphs = (graphs[individual.identifier],)
+        elif model_name != "lstm" and graph_method == GraphMethod.RANDOM:
+            candidate_graphs = tuple(
+                cached_graph(derive_seed(individual.identifier, "randgraph",
+                                         rep, base=base_seed))
+                for rep in range(num_random_repeats))
+        elif model_name == "lstm":
+            candidate_graphs = (None,)
+        else:
+            candidate_graphs = (
+                cached_graph(derive_seed(individual.identifier, "graph",
+                                         base=base_seed)),
+            )
+        seeds = tuple(
+            derive_seed(individual.identifier, model_name, graph_method,
+                        seq_len, keep_fraction, rep, base=base_seed)
+            for rep in range(len(candidate_graphs)))
+        key = "|".join(str(part) for part in (
+            individual.identifier, model_name, graph_method, seq_len,
+            keep_fraction, base_seed, len(candidate_graphs),
+            export_learned_graphs))
+        cells.append(CohortCell(
+            key=key,
+            label=f"{model_name}:{graph_method} seq{seq_len} "
+                  f"{individual.identifier}",
+            individual=individual,
+            model_name=model_name,
+            seq_len=seq_len,
+            graph_method=graph_method,
+            graphs=candidate_graphs,
+            seeds=seeds,
+            trainer_config=trainer_config,
+            model_config=model_config,
+            train_fraction=train_fraction,
+            export_learned_graph=export_learned_graphs,
+            dtype=dtype,
+        ))
+    return cells
+
+
 def run_cohort(dataset: EMADataset, model_name: str, seq_len: int,
                graph_method: str = GraphMethod.CORRELATION,
                keep_fraction: float = 0.2,
@@ -97,7 +211,9 @@ def run_cohort(dataset: EMADataset, model_name: str, seq_len: int,
                base_seed: int = 0,
                num_random_repeats: int = 5,
                graph_kwargs: dict | None = None,
-               export_learned_graphs: bool = False) -> list[IndividualResult]:
+               export_learned_graphs: bool = False,
+               parallel: ParallelConfig | None = None,
+               graph_cache: GraphCache | None = None) -> list[IndividualResult]:
     """Run one table cell: a model/graph condition across the whole cohort.
 
     Parameters
@@ -109,52 +225,19 @@ def run_cohort(dataset: EMADataset, model_name: str, seq_len: int,
     num_random_repeats:
         For ``graph_method="random"`` the paper averages over 5 randomly
         generated graphs; each repeat draws a fresh graph and model seed.
+    parallel:
+        Scheduling knobs (worker count, checkpoint, progress callback);
+        ``None`` runs serially.  Per-cell seeding makes results
+        bit-identical across schedules.
+    graph_cache:
+        Shared cache of constructed graphs; pass one cache across the
+        conditions of an experiment to build each graph exactly once.
     """
-    graph_kwargs = dict(graph_kwargs or {})
-    results: list[IndividualResult] = []
-    for individual in dataset:
-        boundary = int(round(train_fraction * individual.num_time_points))
-        if graphs is not None:
-            candidate_graphs = [graphs[individual.identifier]]
-        elif model_name != "lstm" and graph_method == GraphMethod.RANDOM:
-            candidate_graphs = [
-                _build_graph(individual, graph_method, keep_fraction, boundary,
-                             derive_seed(individual.identifier, "randgraph", rep,
-                                         base=base_seed),
-                             graph_kwargs)
-                for rep in range(num_random_repeats)
-            ]
-        elif model_name == "lstm":
-            candidate_graphs = [None]
-        else:
-            candidate_graphs = [
-                _build_graph(individual, graph_method, keep_fraction, boundary,
-                             derive_seed(individual.identifier, "graph",
-                                         base=base_seed),
-                             graph_kwargs)
-            ]
-        repeats: list[IndividualResult] = []
-        for rep, graph in enumerate(candidate_graphs):
-            seed = derive_seed(individual.identifier, model_name, graph_method,
-                               seq_len, keep_fraction, rep, base=base_seed)
-            repeats.append(run_individual(
-                individual, model_name, seq_len, graph,
-                graph_method=graph_method,
-                trainer_config=trainer_config, model_config=model_config,
-                train_fraction=train_fraction, seed=seed,
-                export_learned_graph=export_learned_graphs))
-        if len(repeats) == 1:
-            results.append(repeats[0])
-        else:
-            # Average the random-graph repeats into one per-individual score.
-            results.append(IndividualResult(
-                identifier=individual.identifier,
-                model_name=model_name,
-                graph_method=graph_method,
-                test_mse=float(np.mean([r.test_mse for r in repeats])),
-                train_mse=float(np.mean([r.train_mse for r in repeats])),
-                learned_graph=repeats[0].learned_graph,
-                static_graph=repeats[0].static_graph,
-                history=repeats[0].history,
-            ))
-    return results
+    cells = enumerate_cells(
+        dataset, model_name, seq_len, graph_method=graph_method,
+        keep_fraction=keep_fraction, graphs=graphs,
+        trainer_config=trainer_config, model_config=model_config,
+        train_fraction=train_fraction, base_seed=base_seed,
+        num_random_repeats=num_random_repeats, graph_kwargs=graph_kwargs,
+        export_learned_graphs=export_learned_graphs, graph_cache=graph_cache)
+    return run_cells(cells, parallel)

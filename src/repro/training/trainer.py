@@ -68,10 +68,13 @@ class Trainer:
     def evaluate(model: Forecaster, windows: WindowSet) -> float:
         """Test-set MSE over all variables and time points (paper eq. 1)."""
         dtype = get_default_dtype()
+        was_training = model.training
         model.eval()
-        with no_grad():
-            prediction = model(Tensor(windows.inputs.astype(dtype))).data
-        model.train()
+        try:
+            with no_grad():
+                prediction = model(Tensor(windows.inputs.astype(dtype))).data
+        finally:
+            model.train(was_training)
         diff = prediction - windows.targets.astype(dtype)
         return float(np.mean(diff.astype(np.float64) ** 2))
 

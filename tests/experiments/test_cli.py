@@ -1,9 +1,25 @@
-"""Tests for the CLI (fast commands only; table runners are covered in
-test_runners.py at micro scale)."""
+"""Tests for the CLI (fast commands, plus full table runs at a micro
+profile patched over ``tiny`` so they execute in seconds)."""
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import PROFILES, ExperimentConfig
+from repro.models import ModelConfig
+
+#: Shrunk stand-in for the tiny profile: full pipeline, seconds of compute.
+MICRO_PROFILE = ExperimentConfig(
+    raw_individuals=8, max_individuals=2, epochs=2, seed=9,
+    seq_lens=(1,), gdts=(0.4,), graph_methods=("correlation",),
+    num_random_repeats=2,
+    model=ModelConfig(hidden_size=8, mtgnn_layers=1, mtgnn_embedding_dim=4),
+)
+
+
+@pytest.fixture
+def micro_tiny(monkeypatch):
+    """Swap the ``tiny`` profile for the micro one for CLI-level runs."""
+    monkeypatch.setitem(PROFILES, "tiny", MICRO_PROFILE)
 
 
 class TestParser:
@@ -27,6 +43,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig3", "--out", "/tmp/x"])
 
+    def test_jobs_flag_on_experiment_commands(self):
+        for command in ("table2", "table3", "fig3"):
+            args = build_parser().parse_args([command, "--jobs", "4"])
+            assert args.jobs == 4
+            assert build_parser().parse_args([command]).jobs == 1
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cohort", "--jobs", "2"])
+
+    def test_checkpoint_flag(self):
+        args = build_parser().parse_args(["table3", "--checkpoint", "/tmp/c"])
+        assert args.checkpoint == "/tmp/c"
+
+    def test_bad_arguments_exit_code_2(self):
+        for argv in ([], ["table2", "--profile", "huge"],
+                     ["no-such-command"], ["table2", "--jobs", "lots"],
+                     ["table2", "--jobs", "0"], ["fig3", "--jobs", "-2"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+
 
 class TestCommands:
     def test_scenarios(self, capsys):
@@ -41,3 +77,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "individuals" in out
         assert "variables" in out
+
+    def test_seed_override_reaches_config(self, capsys):
+        assert main(["cohort", "--profile", "tiny", "--seed", "123",
+                     "--quiet"]) == 0
+        assert "seed=123" in capsys.readouterr().out
+
+
+class TestTableRuns:
+    """Full table pipelines through main() at the micro profile."""
+
+    def test_table2_out_exports(self, micro_tiny, tmp_path, capsys):
+        out_dir = tmp_path / "exports"
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--out", str(out_dir)]) == 0
+        for name in ("table2.csv", "table2.md", "table2_per_individual.csv"):
+            assert (out_dir / name).exists(), name
+        stdout = capsys.readouterr().out
+        assert "Table II" in stdout
+        assert "wrote" in stdout
+
+    def test_table3_out_exports(self, micro_tiny, tmp_path):
+        out_dir = tmp_path / "exports"
+        assert main(["table3", "--profile", "tiny", "--quiet",
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "table3.csv").exists()
+        assert (out_dir / "table3_per_individual.csv").exists()
+
+    def test_jobs_serial_parallel_equivalence(self, micro_tiny, tmp_path,
+                                              capsys):
+        """Acceptance: --jobs 2 writes byte-identical results to --jobs 1."""
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--jobs", "1", "--out", str(serial_dir)]) == 0
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--jobs", "2", "--out", str(parallel_dir)]) == 0
+        capsys.readouterr()
+        for name in ("table2.csv", "table2_per_individual.csv"):
+            assert (serial_dir / name).read_bytes() == \
+                (parallel_dir / name).read_bytes(), name
+
+    def test_checkpoint_resume(self, micro_tiny, tmp_path, capsys):
+        checkpoint = tmp_path / "cells.pkl"
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--checkpoint", str(checkpoint)]) == 0
+        first = capsys.readouterr().out
+        assert checkpoint.exists()
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--checkpoint", str(checkpoint)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_progress_lines_report_cells(self, micro_tiny, capsys):
+        assert main(["table2", "--profile", "tiny"]) == 0
+        err = capsys.readouterr().err
+        assert "cell " in err
+        assert "Seq1" in err

@@ -56,6 +56,25 @@ class TestSparsify:
         out = sparsify(a, 0.5)  # 50% of the 2 present edges -> 1 edge
         assert int((np.triu(out, k=1) > 0).sum()) == 1
 
+    def test_ranks_by_magnitude_not_signed_weight(self):
+        # Regression: signed ranking dropped a strong negative edge before
+        # a weak positive one.
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 0] = -0.9   # strongest association (negative)
+        a[2, 3] = a[3, 2] = 0.1    # weak positive
+        a[0, 2] = a[2, 0] = 0.05
+        out = sparsify(a, 0.34)    # keep 1 of the 3 present edges
+        assert out[0, 1] == -0.9
+        assert out[2, 3] == 0.0 and out[0, 2] == 0.0
+
+    def test_negative_edges_count_as_present(self):
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 0] = -0.5
+        a[2, 3] = a[3, 2] = 0.4
+        out = sparsify(a, 0.5)     # 50% of 2 present edges -> 1 edge
+        assert out[0, 1] == -0.5   # the stronger magnitude wins
+        assert int((np.abs(np.triu(out, k=1)) > 0).sum()) == 1
+
     def test_validates_fraction(self):
         with pytest.raises(ValueError):
             sparsify(dense_graph(), 0.0)
@@ -86,6 +105,24 @@ class TestRandomGraphs:
         ref_edges = int((np.triu(ref, k=1) > 0).sum())
         rand_edges = int((np.triu(rand, k=1) > 0).sum())
         assert rand_edges == ref_edges
+
+    def test_random_like_symmetrizes_asymmetric_reference(self):
+        # Regression: a directed reference with lower-triangle-only edges
+        # (e.g. an MTGNN-learned graph) was counted as having zero edges.
+        ref = np.zeros((6, 6))
+        ref[3, 1] = 0.8
+        ref[5, 0] = 0.4
+        ref[4, 2] = 0.6
+        rand = random_like(ref, np.random.default_rng(30))
+        assert int((np.triu(rand, k=1) > 0).sum()) == 3
+
+    def test_random_like_counts_directed_pair_once(self):
+        ref = np.zeros((5, 5))
+        ref[0, 1] = 0.9   # same undirected edge, both directions present
+        ref[1, 0] = 0.3
+        ref[2, 4] = 0.5   # one direction only
+        rand = random_like(ref, np.random.default_rng(31))
+        assert int((np.triu(rand, k=1) > 0).sum()) == 2
 
     def test_weights_in_unit_interval(self):
         a = random_adjacency(6, 8, np.random.default_rng(7))

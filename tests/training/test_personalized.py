@@ -69,6 +69,25 @@ class TestRunCohort:
                              model_config=FAST_MODEL)
         assert len(results) == len(mini_cohort)
 
+    def test_random_repeats_keep_per_repeat_scores(self, mini_cohort):
+        # Regression: averaging used to discard everything but the mean, so
+        # the cross-repeat spread was unrecoverable.
+        results = run_cohort(mini_cohort, "a3tgcn", 2, graph_method="random",
+                             keep_fraction=0.4, num_random_repeats=3,
+                             trainer_config=FAST_TRAINER,
+                             model_config=FAST_MODEL)
+        for result in results:
+            assert len(result.repeat_scores) == 3
+            assert result.test_mse == pytest.approx(
+                np.mean(result.repeat_scores))
+            assert np.isfinite(np.std(result.repeat_scores))
+
+    def test_single_run_repeat_scores_is_own_score(self, mini_cohort):
+        results = run_cohort(mini_cohort, "lstm", 2,
+                             trainer_config=FAST_TRAINER,
+                             model_config=FAST_MODEL)
+        assert all(r.repeat_scores == (r.test_mse,) for r in results)
+
     def test_provided_graphs_used(self, mini_cohort):
         graphs = {ind.identifier: np.eye(26) * 0.0 for ind in mini_cohort}
         rng = np.random.default_rng(0)

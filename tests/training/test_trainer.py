@@ -74,6 +74,19 @@ class TestTrainer:
             losses.append(history.losses)
         np.testing.assert_allclose(losses[0], losses[1])
 
+    def test_evaluate_restores_prior_mode(self):
+        # Regression: evaluate() used to force train mode afterwards,
+        # re-enabling dropout on a model that was deliberately in eval mode.
+        series = predictable_series(seed=6)
+        windows = make_windows(series, L)
+        model = create_model("lstm", V, L, seed=0)
+        model.eval()
+        Trainer.evaluate(model, windows)
+        assert model.training is False
+        model.train()
+        Trainer.evaluate(model, windows)
+        assert model.training is True
+
     def test_grad_clip_none_allowed(self):
         series = predictable_series(seed=4)
         windows = make_windows(series, L)
