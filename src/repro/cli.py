@@ -12,6 +12,11 @@ Examples
     ema-gnn table2  --profile paper \\
             --jobs 8 --checkpoint t2.ckpt     # full-scale run: 8 workers,
                                               # resumable via the checkpoint
+    ema-gnn table2  --profile paper \\
+            --early-stop 20 --lr-schedule plateau
+                                              # sweep mode: per-fit early
+                                              # stopping + LR scheduling
+                                              # (off by default)
 """
 
 from __future__ import annotations
@@ -68,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--checkpoint", default=None, metavar="FILE",
                              help="journal completed cells here and resume "
                                   "an interrupted run from it")
+            cmd.add_argument("--early-stop", type=_positive_int,
+                             default=None, metavar="PATIENCE",
+                             help="stop each individual fit after PATIENCE "
+                                  "epochs without improvement and restore "
+                                  "the best weights (default: off — the "
+                                  "paper's fixed epoch budget)")
+            cmd.add_argument("--lr-schedule", choices=("step", "plateau"),
+                             default=None,
+                             help="per-fit learning-rate schedule "
+                                  "(default: off — the paper's constant "
+                                  "lr=0.01)")
     return parser
 
 
@@ -94,11 +110,15 @@ def _export_table(result, command: str, out_dir: str) -> None:
 
 
 def _config(args):
+    from dataclasses import replace
+
     config = PROFILES[args.profile]
     if args.seed is not None:
-        from dataclasses import replace
-
         config = replace(config, seed=args.seed)
+    if getattr(args, "early_stop", None) is not None:
+        config = replace(config, early_stop_patience=args.early_stop)
+    if getattr(args, "lr_schedule", None) is not None:
+        config = replace(config, lr_schedule=args.lr_schedule)
     return config
 
 

@@ -16,14 +16,31 @@ import numpy as np
 __all__ = ["mse_score", "CohortScore", "cohort_score", "percentage_change"]
 
 
+def _require_finite(name: str, values: np.ndarray) -> None:
+    bad = ~np.isfinite(values)
+    if bad.any():
+        first = tuple(int(i) for i in np.argwhere(bad)[0])
+        raise ValueError(
+            f"{name} contains {int(bad.sum())} non-finite value(s) "
+            f"(first at index {first}); a NaN here "
+            f"would silently poison the MSE — fix the upstream "
+            f"prediction/divergence instead")
+
+
 def mse_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
-    """Per-individual MSE over all (time, variable) cells."""
+    """Per-individual MSE over all (time, variable) cells.
+
+    Raises :class:`ValueError` when either array contains NaN/inf — a
+    diverged model must be surfaced, not averaged into a table as NaN.
+    """
     y_true = np.asarray(y_true, dtype=np.float64)
     y_pred = np.asarray(y_pred, dtype=np.float64)
     if y_true.shape != y_pred.shape:
         raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
     if y_true.size == 0:
         raise ValueError("cannot score empty arrays")
+    _require_finite("y_true", y_true)
+    _require_finite("y_pred", y_pred)
     return float(np.mean((y_true - y_pred) ** 2))
 
 

@@ -21,7 +21,7 @@ import numpy as np
 from ..data import (EMADataset, PreprocessingPipeline, SynthesisConfig,
                     generate_cohort)
 from ..models import ModelConfig
-from ..training import TrainerConfig
+from ..training import CallbackSpec, TrainerConfig
 
 __all__ = ["ExperimentConfig", "PROFILES", "make_dataset"]
 
@@ -54,10 +54,24 @@ class ExperimentConfig:
     dtw_window: int = 10
     #: Run models in float32 (2x faster; float64 for exact gradcheck parity).
     float32: bool = True
+    #: Early-stopping patience for every per-individual fit, or ``None``
+    #: for the paper-faithful fixed-epoch loop (the default).
+    early_stop_patience: int | None = None
+    #: LR schedule kind ("step" or "plateau"), or ``None`` for the
+    #: paper's constant lr=0.01 (the default).
+    lr_schedule: str | None = None
     model: ModelConfig = field(default_factory=ModelConfig)
 
     def trainer_config(self) -> TrainerConfig:
-        return TrainerConfig(epochs=self.epochs)
+        """Engine config; optional behaviors become callback specs."""
+        callbacks = []
+        if self.early_stop_patience is not None:
+            callbacks.append(CallbackSpec.make(
+                "early-stopping", patience=self.early_stop_patience))
+        if self.lr_schedule is not None:
+            callbacks.append(CallbackSpec.make(
+                "lr-scheduler", kind=self.lr_schedule))
+        return TrainerConfig(epochs=self.epochs, callbacks=tuple(callbacks))
 
     def graph_kwargs(self, method: str) -> dict:
         if method == "knn":

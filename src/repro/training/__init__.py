@@ -1,6 +1,9 @@
-"""Personalized training: full-batch trainer + cohort experiment loop."""
+"""Personalized training: event-driven engine + cohort experiment loop."""
 
-from .history import TrainingHistory
+from .callbacks import (Callback, CallbackSpec, DivergenceGuard,
+                        EarlyStopping, EpochTimer, GradClipCallback,
+                        LRSchedulerCallback, TrainingContext, build_callbacks)
+from .history import EpochRecord, TrainingHistory
 from .parallel import (CohortCell, CohortCheckpoint, GraphCache,
                        ParallelConfig, execute_cell, run_cells)
 from .personalized import (IndividualResult, aggregate_repeats,
@@ -8,8 +11,11 @@ from .personalized import (IndividualResult, aggregate_repeats,
 from .seeding import derive_seed
 from .trainer import Trainer, TrainerConfig
 
-__all__ = ["TrainingHistory", "IndividualResult", "run_cohort",
-           "run_individual", "enumerate_cells", "aggregate_repeats",
-           "derive_seed", "Trainer", "TrainerConfig", "CohortCell",
-           "CohortCheckpoint", "GraphCache", "ParallelConfig",
-           "execute_cell", "run_cells"]
+__all__ = ["TrainingHistory", "EpochRecord", "IndividualResult",
+           "run_cohort", "run_individual", "enumerate_cells",
+           "aggregate_repeats", "derive_seed", "Trainer", "TrainerConfig",
+           "CohortCell", "CohortCheckpoint", "GraphCache", "ParallelConfig",
+           "execute_cell", "run_cells", "Callback", "CallbackSpec",
+           "TrainingContext", "build_callbacks", "EarlyStopping",
+           "LRSchedulerCallback", "GradClipCallback", "DivergenceGuard",
+           "EpochTimer"]

@@ -1,0 +1,293 @@
+"""Training callbacks: the extension points of the event-driven engine.
+
+:class:`~repro.training.trainer.Trainer.fit` is a thin event loop; every
+behavior beyond "forward, backward, step" lives in a callback.  The hook
+protocol is :class:`Callback` (``on_fit_start`` / ``on_epoch_start`` /
+``on_after_backward`` / ``on_epoch_end`` / ``on_fit_end``); hooks receive a
+mutable :class:`TrainingContext` and may call
+:meth:`TrainingContext.request_stop` to end training early.
+
+Because cohort cells are shipped to worker processes by pickle, callbacks
+are configured as declarative :class:`CallbackSpec` records on
+:class:`~repro.training.trainer.TrainerConfig` rather than live instances:
+a spec is immutable and picklable, and every ``fit`` builds fresh stateful
+instances from it, so repeated or concurrent fits never share mutable
+callback state.  All specs are **off by default** — a default
+``TrainerConfig`` reproduces the paper's fixed 300-epoch loop bit for bit.
+
+Provided callbacks:
+
+* :class:`GradClipCallback` — global grad-norm clipping (the seed loop's
+  hardcoded behavior, now an ordinary callback);
+* :class:`EarlyStopping` — stop after ``patience`` stale epochs and
+  restore the best weights seen;
+* :class:`LRSchedulerCallback` — drives
+  :class:`~repro.optim.schedule.StepLR` /
+  :class:`~repro.optim.schedule.ReduceLROnPlateau` from epoch events;
+* :class:`DivergenceGuard` — non-finite loss restores the best finite
+  weights and halts instead of training on NaNs;
+* :class:`EpochTimer` — stamps per-epoch wall-clock onto the history.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..optim import ReduceLROnPlateau, StepLR, clip_grad_norm
+
+if TYPE_CHECKING:
+    from ..models.base import Forecaster
+    from ..optim import Optimizer
+    from .history import TrainingHistory
+    from .trainer import TrainerConfig
+
+__all__ = ["TrainingContext", "Callback", "CallbackSpec", "build_callbacks",
+           "EarlyStopping", "LRSchedulerCallback", "GradClipCallback",
+           "DivergenceGuard", "EpochTimer", "CALLBACK_REGISTRY"]
+
+
+@dataclass
+class TrainingContext:
+    """Mutable state shared between the engine and its callbacks."""
+
+    model: "Forecaster"
+    optimizer: "Optimizer"
+    config: "TrainerConfig"
+    history: "TrainingHistory"
+    #: Total epochs the loop would run without a stop request.
+    max_epochs: int
+    #: Zero-based index of the current epoch.
+    epoch: int = 0
+    #: Loss of the current epoch (set before ``on_after_backward``).
+    loss: float = float("nan")
+    #: Pre-clip global gradient norm, when a callback computed one.
+    grad_norm: float | None = None
+    stop_requested: bool = False
+    stop_reason: str | None = None
+
+    def request_stop(self, reason: str) -> None:
+        """Ask the engine to halt after the current epoch completes."""
+        self.stop_requested = True
+        if self.stop_reason is None:
+            self.stop_reason = reason
+
+
+class Callback:
+    """No-op base class; override the hooks you need.
+
+    Hook order per fit: ``on_fit_start``, then per epoch
+    ``on_epoch_start`` → (forward/backward) → ``on_after_backward`` →
+    (optimizer step, history record) → ``on_epoch_end``, and finally
+    ``on_fit_end`` (which runs even when training stopped early).
+    """
+
+    def on_fit_start(self, ctx: TrainingContext) -> None: ...
+
+    def on_epoch_start(self, ctx: TrainingContext) -> None: ...
+
+    def on_after_backward(self, ctx: TrainingContext) -> None:
+        """Gradients exist, optimizer has not stepped yet."""
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None: ...
+
+    def on_fit_end(self, ctx: TrainingContext) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# Declarative specs (picklable callback configuration)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CallbackSpec:
+    """Immutable description of a callback: registry name + kwargs.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so specs stay
+    hashable and pickle deterministically; use :meth:`make` to build one
+    from keyword arguments.
+    """
+
+    name: str
+    params: tuple = ()
+
+    def __post_init__(self):
+        if self.name not in CALLBACK_REGISTRY:
+            raise ValueError(
+                f"unknown callback {self.name!r}; "
+                f"known: {sorted(CALLBACK_REGISTRY)}")
+
+    @classmethod
+    def make(cls, name: str, **kwargs) -> "CallbackSpec":
+        return cls(name, tuple(sorted(kwargs.items())))
+
+    @property
+    def kwargs(self) -> dict:
+        return dict(self.params)
+
+    def build(self) -> Callback:
+        """Instantiate a fresh callback (stateful, single-fit) instance."""
+        return CALLBACK_REGISTRY[self.name](**self.kwargs)
+
+
+def build_callbacks(specs) -> list[Callback]:
+    """Fresh callback instances for one fit, in spec order."""
+    return [spec.build() for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Concrete callbacks
+# ----------------------------------------------------------------------
+
+class GradClipCallback(Callback):
+    """Global grad-norm clipping between backward and the optimizer step.
+
+    This is the seed trainer's hardcoded ``clip_grad_norm`` moved into a
+    callback; ``TrainerConfig.grad_clip`` still installs it by default, so
+    the paper-faithful recipe is unchanged.  Also publishes the pre-clip
+    norm on the context, which the engine records as epoch telemetry.
+    """
+
+    def __init__(self, max_norm: float = 5.0):
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def on_after_backward(self, ctx: TrainingContext) -> None:
+        ctx.grad_norm = clip_grad_norm(ctx.model.parameters(), self.max_norm)
+
+
+class EarlyStopping(Callback):
+    """Stop when the training loss stops improving; restore best weights.
+
+    Full-batch personalized training has no validation split (the paper
+    holds out the final 30 % for *testing* only), so the monitored
+    quantity is the training loss — the same signal
+    ``ReduceLROnPlateau`` watches.
+    """
+
+    def __init__(self, patience: int = 20, min_delta: float = 0.0,
+                 restore_best: bool = True):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be >= 0")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.restore_best = restore_best
+        self.best_loss = float("inf")
+        self.best_epoch = -1
+        self._best_state: dict | None = None
+        self._stale = 0
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        if ctx.loss < self.best_loss - self.min_delta:
+            self.best_loss = ctx.loss
+            self.best_epoch = ctx.epoch
+            self._stale = 0
+            if self.restore_best:
+                self._best_state = ctx.model.state_dict()
+            return
+        self._stale += 1
+        if self._stale >= self.patience:
+            ctx.request_stop(
+                f"early stop: no improvement for {self.patience} epochs "
+                f"(best {self.best_loss:.6g} at epoch {self.best_epoch})")
+
+    def on_fit_end(self, ctx: TrainingContext) -> None:
+        if self.restore_best and self._best_state is not None \
+                and ctx.epoch != self.best_epoch:
+            ctx.model.load_state_dict(self._best_state)
+
+
+class LRSchedulerCallback(Callback):
+    """Drives an LR schedule from epoch events.
+
+    ``kind="step"`` builds :class:`~repro.optim.schedule.StepLR`;
+    ``kind="plateau"`` builds
+    :class:`~repro.optim.schedule.ReduceLROnPlateau` fed with the epoch
+    loss.  The scheduler is constructed lazily in ``on_fit_start`` because
+    it needs the fit's optimizer.
+    """
+
+    KINDS = ("step", "plateau")
+
+    def __init__(self, kind: str = "plateau", **schedule_kwargs):
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        self.kind = kind
+        self.schedule_kwargs = schedule_kwargs
+        self.scheduler = None
+
+    def on_fit_start(self, ctx: TrainingContext) -> None:
+        if self.kind == "step":
+            kwargs = dict(self.schedule_kwargs)
+            kwargs.setdefault("step_size", max(1, ctx.max_epochs // 3))
+            self.scheduler = StepLR(ctx.optimizer, **kwargs)
+        else:
+            self.scheduler = ReduceLROnPlateau(ctx.optimizer,
+                                               **self.schedule_kwargs)
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        if self.kind == "step":
+            self.scheduler.step()
+        else:
+            self.scheduler.step(ctx.loss)
+
+
+class DivergenceGuard(Callback):
+    """Halt on non-finite loss instead of silently training on NaNs.
+
+    Keeps a snapshot of the weights from the best finite epoch; when the
+    loss goes NaN/inf the snapshot is restored immediately and the fit
+    stops, so the model that reaches evaluation is the best one actually
+    observed rather than a NaN-saturated husk.
+    """
+
+    def __init__(self):
+        self.best_loss = float("inf")
+        self._best_state: dict | None = None
+        self.tripped = False
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        if np.isfinite(ctx.loss):
+            if ctx.loss < self.best_loss:
+                self.best_loss = ctx.loss
+                self._best_state = ctx.model.state_dict()
+            return
+        self.tripped = True
+        if self._best_state is not None:
+            ctx.model.load_state_dict(self._best_state)
+        ctx.request_stop(
+            f"divergence: non-finite loss at epoch {ctx.epoch}"
+            + ("" if self._best_state is None
+               else f"; restored weights of loss {self.best_loss:.6g}"))
+
+
+class EpochTimer(Callback):
+    """Stamps per-epoch wall-clock durations onto the history records."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.total_seconds = 0.0
+        self._epoch_started = 0.0
+
+    def on_epoch_start(self, ctx: TrainingContext) -> None:
+        self._epoch_started = self.clock()
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        duration = self.clock() - self._epoch_started
+        self.total_seconds += duration
+        if ctx.history.records:
+            ctx.history.records[-1].duration = duration
+
+
+CALLBACK_REGISTRY: dict[str, Callable[..., Callback]] = {
+    "grad-clip": GradClipCallback,
+    "early-stopping": EarlyStopping,
+    "lr-scheduler": LRSchedulerCallback,
+    "divergence-guard": DivergenceGuard,
+    "epoch-timer": EpochTimer,
+}

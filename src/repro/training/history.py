@@ -1,45 +1,97 @@
-"""Training history record."""
+"""Training history: per-epoch telemetry records plus summary statistics."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TrainingHistory"]
+__all__ = ["EpochRecord", "TrainingHistory"]
+
+
+@dataclass
+class EpochRecord:
+    """Telemetry of one training epoch.
+
+    ``grad_norm`` is the pre-clip global gradient norm (``None`` unless a
+    grad-clipping callback computed one), ``lr`` the learning rate the
+    optimizer stepped with, and ``duration`` the wall-clock seconds
+    (``None`` unless an :class:`~repro.training.callbacks.EpochTimer` is
+    installed).
+    """
+
+    loss: float
+    grad_norm: float | None = None
+    lr: float | None = None
+    duration: float | None = None
 
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch training losses plus summary statistics."""
+    """Per-epoch training records plus summary statistics.
 
-    losses: list[float] = field(default_factory=list)
+    The seed API (``.losses`` / ``.final_loss`` / ``.best_loss`` /
+    ``.best_epoch`` / ``.improved``) is unchanged; richer telemetry lives
+    on :attr:`records`, and :attr:`stop_reason` says why a run ended
+    before its epoch budget (``None`` for a full-length run).
+    """
 
-    def record(self, loss: float) -> None:
-        self.losses.append(float(loss))
+    records: list[EpochRecord] = field(default_factory=list)
+    #: Why training stopped early (callback stop request), or ``None``.
+    stop_reason: str | None = None
+
+    def record(self, loss: float, grad_norm: float | None = None,
+               lr: float | None = None,
+               duration: float | None = None) -> None:
+        self.records.append(EpochRecord(
+            loss=float(loss),
+            grad_norm=None if grad_norm is None else float(grad_norm),
+            lr=None if lr is None else float(lr),
+            duration=None if duration is None else float(duration)))
+
+    @property
+    def losses(self) -> list[float]:
+        return [r.loss for r in self.records]
+
+    @property
+    def grad_norms(self) -> list[float | None]:
+        return [r.grad_norm for r in self.records]
+
+    @property
+    def learning_rates(self) -> list[float | None]:
+        return [r.lr for r in self.records]
+
+    @property
+    def durations(self) -> list[float | None]:
+        return [r.duration for r in self.records]
+
+    @property
+    def stopped_early(self) -> bool:
+        return self.stop_reason is not None
 
     @property
     def epochs(self) -> int:
-        return len(self.losses)
+        return len(self.records)
 
     @property
     def final_loss(self) -> float:
-        if not self.losses:
+        if not self.records:
             raise ValueError("no epochs recorded")
-        return self.losses[-1]
+        return self.records[-1].loss
 
     @property
     def best_loss(self) -> float:
-        if not self.losses:
+        if not self.records:
             raise ValueError("no epochs recorded")
-        return min(self.losses)
+        return min(r.loss for r in self.records)
 
     @property
     def best_epoch(self) -> int:
-        if not self.losses:
+        if not self.records:
             raise ValueError("no epochs recorded")
-        return int(min(range(len(self.losses)), key=self.losses.__getitem__))
+        losses = self.losses
+        return int(min(range(len(losses)), key=losses.__getitem__))
 
     def improved(self, rel_tol: float = 0.01) -> bool:
         """Did training reduce the loss by at least ``rel_tol`` relative?"""
-        if len(self.losses) < 2:
+        if len(self.records) < 2:
             return False
-        return self.final_loss < (1.0 - rel_tol) * self.losses[0]
+        return self.final_loss < (1.0 - rel_tol) * self.records[0].loss

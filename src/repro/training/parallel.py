@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,6 +51,13 @@ class CohortCell:
     :func:`~repro.training.personalized.enumerate_cells`) so workers do
     pure model training and the expensive constructions can be cached
     across conditions in the parent process.
+
+    ``trainer_config`` carries the engine's callback configuration as
+    declarative :class:`~repro.training.callbacks.CallbackSpec` records,
+    which pickle with the cell; each worker builds fresh callback
+    instances per fit, so early stopping / LR scheduling state is never
+    shared across processes and serial vs parallel schedules stay
+    bit-identical.
     """
 
     key: str
@@ -142,12 +150,24 @@ class CohortCheckpoint:
         if self.path.exists():
             with open(self.path, "rb") as handle:
                 while True:
+                    offset = handle.tell()
                     try:
                         key, result = pickle.load(handle)
                     except EOFError:
                         break
-                    except (pickle.UnpicklingError, ValueError, TypeError):
-                        break  # truncated/corrupt tail from an interrupt
+                    except (pickle.UnpicklingError, ValueError, TypeError,
+                            AttributeError) as error:
+                        # Truncated/corrupt tail from an interrupt: usable
+                        # records before it are kept, but tell the user —
+                        # the cells after this point will re-run.
+                        warnings.warn(
+                            f"checkpoint {self.path} has a corrupt record "
+                            f"at byte offset {offset} "
+                            f"({type(error).__name__}: {error}); ignoring "
+                            f"the rest of the journal — cells not yet "
+                            f"loaded will be recomputed",
+                            RuntimeWarning, stacklevel=2)
+                        break
                     self._results[key] = result
 
     def __contains__(self, key: str) -> bool:

@@ -66,8 +66,18 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
                    model_config: ModelConfig | None = None,
                    train_fraction: float = 0.7,
                    seed: int = 0,
-                   export_learned_graph: bool = False) -> IndividualResult:
-    """Train and evaluate one (individual, model, graph) cell."""
+                   export_learned_graph: bool = False,
+                   callbacks: list | None = None) -> IndividualResult:
+    """Train and evaluate one (individual, model, graph) cell.
+
+    Training behavior (early stopping, LR schedules, divergence guards)
+    is configured via ``trainer_config.callbacks`` — declarative
+    :class:`~repro.training.callbacks.CallbackSpec` records that survive
+    pickling into worker processes.  ``callbacks`` additionally accepts
+    *live* :class:`~repro.training.callbacks.Callback` instances for
+    in-process observers; those cannot cross process boundaries and are
+    therefore not part of :func:`enumerate_cells`'s cell payload.
+    """
     split = split_windows(individual.values, seq_len, train_fraction)
     model = create_model(model_name, individual.num_variables, seq_len,
                          adjacency=graph, config=model_config, seed=seed)
@@ -81,7 +91,7 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
     elif trainer_config is None and model_name == "mtgnn":
         trainer_config = TrainerConfig(weight_decay=1e-4)
     trainer = Trainer(trainer_config)
-    history = trainer.fit(model, split.train)
+    history = trainer.fit(model, split.train, callbacks=callbacks)
     test_mse = trainer.evaluate(model, split.test)
     train_mse = trainer.evaluate(model, split.train)
     learned = None

@@ -30,6 +30,26 @@ class TestMSEScore:
         with pytest.raises(ValueError):
             mse_score(np.zeros((0, 3)), np.zeros((0, 3)))
 
+    def test_nan_prediction_raises_instead_of_nan_score(self):
+        y = np.zeros((4, 3))
+        p = np.zeros((4, 3))
+        p[2, 1] = np.nan
+        with pytest.raises(ValueError, match=r"y_pred.*non-finite"):
+            mse_score(y, p)
+
+    def test_inf_truth_raises(self):
+        y = np.zeros((4, 3))
+        y[0, 0] = np.inf
+        with pytest.raises(ValueError, match=r"y_true.*non-finite"):
+            mse_score(y, np.zeros((4, 3)))
+
+    def test_error_locates_first_bad_value(self):
+        p = np.zeros((4, 3))
+        p[2, 1] = np.nan
+        p[3, 0] = np.inf
+        with pytest.raises(ValueError, match=r"2 non-finite.*\(2, 1\)"):
+            mse_score(np.zeros((4, 3)), p)
+
     def test_naive_zero_predictor_on_standardized_data_is_one(self):
         # Sanity anchor used throughout EXPERIMENTS.md: predicting the mean
         # (0) of z-scored data gives MSE ~= 1.

@@ -22,6 +22,12 @@ def micro_tiny(monkeypatch):
     monkeypatch.setitem(PROFILES, "tiny", MICRO_PROFILE)
 
 
+def _parse_config(argv):
+    from repro.cli import _config
+
+    return _config(build_parser().parse_args(argv))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -54,6 +60,38 @@ class TestParser:
     def test_checkpoint_flag(self):
         args = build_parser().parse_args(["table3", "--checkpoint", "/tmp/c"])
         assert args.checkpoint == "/tmp/c"
+
+    def test_engine_flags_on_experiment_commands(self):
+        for command in ("table2", "table3", "fig3"):
+            args = build_parser().parse_args(
+                [command, "--early-stop", "15", "--lr-schedule", "plateau"])
+            assert args.early_stop == 15
+            assert args.lr_schedule == "plateau"
+            defaults = build_parser().parse_args([command])
+            assert defaults.early_stop is None  # off: paper-faithful
+            assert defaults.lr_schedule is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cohort", "--early-stop", "5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--lr-schedule", "cosine"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--early-stop", "0"])
+
+    def test_engine_flags_reach_trainer_config(self):
+        from repro.cli import _config
+
+        args = build_parser().parse_args(
+            ["table2", "--early-stop", "9", "--lr-schedule", "step"])
+        config = _config(args)
+        assert config.early_stop_patience == 9
+        assert config.lr_schedule == "step"
+        specs = config.trainer_config().callbacks
+        assert [s.name for s in specs] == ["early-stopping", "lr-scheduler"]
+        assert specs[0].kwargs == {"patience": 9}
+
+    def test_engine_flags_off_by_default(self):
+        config = _parse_config(["table2"])
+        assert config.trainer_config().callbacks == ()
 
     def test_bad_arguments_exit_code_2(self):
         for argv in ([], ["table2", "--profile", "huge"],
@@ -133,3 +171,17 @@ class TestTableRuns:
         err = capsys.readouterr().err
         assert "cell " in err
         assert "Seq1" in err
+
+    def test_engine_flags_run_end_to_end(self, micro_tiny, tmp_path, capsys):
+        """--early-stop/--lr-schedule thread through runner and workers."""
+        plain_dir, engine_dir = tmp_path / "plain", tmp_path / "engine"
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--out", str(plain_dir)]) == 0
+        assert main(["table2", "--profile", "tiny", "--quiet", "--jobs", "2",
+                     "--early-stop", "1", "--lr-schedule", "plateau",
+                     "--out", str(engine_dir)]) == 0
+        capsys.readouterr()
+        assert (engine_dir / "table2.csv").exists()
+        # Patience-1 early stopping on a 2-epoch micro profile can change
+        # results but must never crash or alter the no-flags baseline.
+        assert (plain_dir / "table2.csv").exists()

@@ -1,6 +1,7 @@
 """Tests for the parallel cohort execution engine."""
 
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -163,15 +164,30 @@ class TestCheckpoint:
         assert [r.identifier for r in results] == \
             [i.identifier for i in mini_cohort]
 
-    def test_truncated_tail_is_ignored(self, mini_cohort, tmp_path):
+    def test_truncated_tail_is_ignored_with_warning(self, mini_cohort,
+                                                    tmp_path):
         path = tmp_path / "cells.pkl"
         cells = mini_cells(mini_cohort)
         run_cells(cells, ParallelConfig(checkpoint=path))
+        offset = path.stat().st_size
         with open(path, "ab") as handle:
             handle.write(b"\x80\x04corrupt-partial-record")
-        reloaded = CohortCheckpoint(path)
+        with pytest.warns(RuntimeWarning) as caught:
+            reloaded = CohortCheckpoint(path)
         assert len(reloaded) == len(cells)
         assert all(cell.key in reloaded for cell in cells)
+        # The warning names the file and the byte offset of the bad record.
+        message = str(caught[0].message)
+        assert str(path) in message
+        assert f"byte offset {offset}" in message
+
+    def test_clean_checkpoint_loads_without_warning(self, mini_cohort,
+                                                    tmp_path):
+        path = tmp_path / "cells.pkl"
+        run_cells(mini_cells(mini_cohort), ParallelConfig(checkpoint=path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            CohortCheckpoint(path)
 
 
 class TestSerialParallelEquivalence:
