@@ -1,0 +1,25 @@
+"""Repo-specific static analysis (the ``REPROxxx`` lint rules).
+
+The reproduction's correctness rests on invariants that ordinary linters
+cannot know about: all randomness must flow through seeded
+``np.random.Generator`` objects (serial vs ``--jobs N`` runs are asserted
+bit-identical), callback configuration must stay picklable to ride
+:class:`~repro.training.parallel.CohortCell` records into worker
+processes, and tensor storage must not be mutated behind the autodiff
+graph's back.  This package turns those tribal rules into machine-checked
+ones.
+
+Usage::
+
+    python -m repro.analysis src/ tests/          # lint a tree
+    ema-gnn lint src/ --format json               # via the main CLI
+    repro-lint                                    # console script
+
+Suppress a finding with a trailing ``# repro: noqa[CODE]`` comment (or a
+bare ``# repro: noqa`` for every rule on that line).  See ``RULES`` for
+the rule table, and DESIGN.md for the rationale behind each rule.
+"""
+
+from .lint import Finding, RULES, lint_file, lint_paths, lint_source
+
+__all__ = ["Finding", "RULES", "lint_file", "lint_paths", "lint_source"]

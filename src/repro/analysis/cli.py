@@ -1,0 +1,66 @@
+"""Command-line front end for the ``REPROxxx`` linter.
+
+Invocable three ways (all share :func:`run`):
+
+* ``python -m repro.analysis [paths...]``
+* ``repro-lint [paths...]`` (console script, pre-commit friendly)
+* ``ema-gnn lint [paths...]`` (subcommand of the main CLI)
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .lint import RULES, lint_paths
+
+__all__ = ["main", "run", "build_parser"]
+
+
+def _default_paths() -> list[str]:
+    """Lint the installed ``repro`` package when no paths are given."""
+    return [str(Path(__file__).resolve().parent.parent)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific static analysis (REPROxxx rules)")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def run(paths: list[str], fmt: str = "text") -> int:
+    """Lint ``paths`` and print findings; returns the process exit code."""
+    findings = lint_paths(paths or _default_paths())
+    if fmt == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, (summary, _) in sorted(RULES.items()):
+            print(f"{code}  {summary}")
+        return 0
+    return run(args.paths, args.format)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

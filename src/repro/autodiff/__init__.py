@@ -7,8 +7,11 @@ Public surface:
 * :func:`concat` / :func:`stack` / :func:`where` — multi-input graph ops
 * :mod:`repro.autodiff.functional` — softmax, losses, adjacency normalizer
 * :func:`check_gradients` — finite-difference verification
+* :func:`detect_anomaly` — opt-in sanitizer: record creating ops, raise on
+  the first non-finite gradient in ``backward()``
 """
 
+from .anomaly import detect_anomaly, is_anomaly_enabled
 from .tensor import (Tensor, as_tensor, concat, get_default_dtype,
                      is_grad_enabled, no_grad, set_default_dtype, stack, where)
 from .functional import huber, log_softmax, mae, mse, normalize_adjacency, softmax
@@ -22,6 +25,8 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "detect_anomaly",
+    "is_anomaly_enabled",
     "set_default_dtype",
     "get_default_dtype",
     "softmax",

@@ -1,0 +1,73 @@
+"""Anomaly detection for the autodiff engine (``torch.autograd.detect_anomaly``).
+
+Two runtime sanitizers guard the engine's correctness invariants:
+
+* **Version counters** (always on, implemented in :mod:`.tensor`): every
+  in-place mutation of a tensor's storage — ``t.data = ...`` rebinding,
+  ``t.data -= ...`` augmented assignment, :meth:`Tensor.copy_` — bumps a
+  counter shared between a tensor and its :meth:`Tensor.detach` views.
+  ``backward()`` compares each graph node's inputs against the versions
+  recorded at forward time and raises instead of silently computing
+  gradients from stale data.
+
+* **Anomaly mode** (opt-in, this module): inside :func:`detect_anomaly`,
+  every graph node additionally records the user stack frame that created
+  it, and ``backward()`` checks each op's vector-Jacobian product for
+  non-finite values — the first NaN/inf gradient raises an error naming
+  the originating op and its forward call site, instead of propagating
+  NaNs into every upstream parameter.
+
+Anomaly mode costs a stack walk per op, so it is off by default; the
+training engine enables it via
+:class:`~repro.training.callbacks.SanitizerCallback` (CLI: ``--sanitize``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import linecache
+import sys
+
+__all__ = ["detect_anomaly", "is_anomaly_enabled", "user_frame_summary"]
+
+_ANOMALY_MODE = False
+
+
+@contextlib.contextmanager
+def detect_anomaly():
+    """Enable anomaly mode for the duration of the ``with`` block.
+
+    Re-entrant: nested contexts keep the mode enabled until the outermost
+    one exits.
+    """
+    global _ANOMALY_MODE
+    previous = _ANOMALY_MODE
+    _ANOMALY_MODE = True
+    try:
+        yield
+    finally:
+        _ANOMALY_MODE = previous
+
+
+def is_anomaly_enabled() -> bool:
+    """Return whether graph nodes currently record creation stack frames."""
+    return _ANOMALY_MODE
+
+
+def user_frame_summary() -> str:
+    """One-line summary of the innermost stack frame outside the engine.
+
+    Walks raw frames via ``sys._getframe`` instead of
+    ``traceback.extract_stack`` — the latter summarizes the *entire* stack
+    (with source lookups) and would dominate the cost of every op executed
+    under anomaly mode.
+    """
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename.replace("\\", "/")
+        if "repro/autodiff/" not in filename:
+            line = linecache.getline(filename, frame.f_lineno).strip()
+            return (f"{filename}:{frame.f_lineno} in {frame.f_code.co_name}"
+                    + (f" — {line}" if line else ""))
+        frame = frame.f_back
+    return "<unknown call site>"

@@ -24,6 +24,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .anomaly import is_anomaly_enabled, user_frame_summary
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor",
            "set_default_dtype", "get_default_dtype"]
 
@@ -94,6 +96,40 @@ def as_tensor(value, dtype=None) -> "Tensor":
     return Tensor(np.asarray(value, dtype=dtype))
 
 
+class _Version:
+    """Mutation counter for one tensor storage.
+
+    Shared between a tensor and every :meth:`Tensor.detach` view of it, so
+    a mutation through *any* alias is visible to the staleness check in
+    :meth:`Tensor.backward`.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+
+_OP_NAME_CACHE: dict = {}
+
+
+def _op_name(backward: Callable) -> str:
+    """Human-readable op name for a backward closure.
+
+    Backward closures are defined inside the op that created them, so the
+    enclosing function's name is recoverable from ``__qualname__``
+    (``'Tensor.__mul__.<locals>.backward'`` -> ``'__mul__'``).  Keyed by
+    the (shared, per-definition-site) code object so the parse runs once.
+    """
+    code = backward.__code__
+    name = _OP_NAME_CACHE.get(code)
+    if name is None:
+        head = backward.__qualname__.split(".<locals>", 1)[0]
+        name = head.rsplit(".", 1)[-1]
+        _OP_NAME_CACHE[code] = name
+    return name
+
+
 class Tensor:
     """A numpy array plus gradient bookkeeping.
 
@@ -107,19 +143,52 @@ class Tensor:
         :attr:`grad` for this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "_grad_owned")
+    __slots__ = ("_data", "grad", "requires_grad", "_backward", "_parents",
+                 "_grad_owned", "_version", "_parent_versions", "_trace")
 
     def __init__(self, data, requires_grad: bool = False):
         array = np.asarray(data)
         if array.dtype.kind in "iub":
             array = array.astype(_DEFAULT_DTYPE)
-        self.data: np.ndarray = array
+        self._data: np.ndarray = array
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad)
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._grad_owned: bool = False
+        self._version: _Version = _Version()
+        self._parent_versions: tuple[int, ...] | None = None
+        self._trace: str | None = None
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying numpy array.
+
+        Assigning to ``data`` (including augmented forms like
+        ``t.data -= u``, which rebind after the in-place numpy op) bumps
+        the tensor's version counter, so a pending ``backward()`` over a
+        graph that used this tensor raises instead of differentiating
+        stale values.  Raw in-place writes to the array itself
+        (``t.data[i] = v``) bypass the counter — use :meth:`copy_` when a
+        graph may be alive.
+        """
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+        self._version.value += 1
+
+    def copy_(self, value) -> "Tensor":
+        """In-place copy into this tensor's storage (dtype-preserving).
+
+        Bumps the shared version counter, so the staleness check catches
+        the mutation if a recorded graph still references this storage
+        (directly or through a :meth:`detach` view).
+        """
+        self._data[...] = np.asarray(value)
+        self._version.value += 1
+        return self
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -155,8 +224,20 @@ class Tensor:
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self.data.item()
 
     def detach(self) -> "Tensor":
-        """Return a tensor sharing data but cut from the autodiff graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a tensor sharing data but cut from the autodiff graph.
+
+        The detached tensor *aliases* this tensor's storage — no copy is
+        made, so in-place writes through either alias are visible to both
+        (exactly like ``torch.Tensor.detach``).  Both aliases also share
+        one version counter: mutating the detached view via
+        :meth:`copy_` or ``.data`` assignment invalidates any recorded
+        graph that used the original, and ``backward()`` raises rather
+        than differentiating the silently-changed values.  Call
+        ``.numpy().copy()`` for an independent snapshot.
+        """
+        out = Tensor(self._data, requires_grad=False)
+        out._version = self._version
+        return out
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -173,6 +254,9 @@ class Tensor:
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
+            out._parent_versions = tuple(p._version.value for p in parents)
+            if is_anomaly_enabled():
+                out._trace = user_frame_summary()
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -229,10 +313,38 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
+        anomaly = is_anomaly_enabled()
+        if anomaly and not np.all(np.isfinite(grad)):
+            raise RuntimeError(
+                "detect_anomaly: backward() was seeded with a non-finite "
+                "gradient")
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            if node._backward is None or node.grad is None:
+                continue
+            if node._parent_versions is not None:
+                for index, (parent, expected) in enumerate(
+                        zip(node._parents, node._parent_versions)):
+                    if parent._version.value != expected:
+                        raise RuntimeError(
+                            f"autodiff: input {index} of op "
+                            f"'{_op_name(node._backward)}' (shape "
+                            f"{parent.shape}) was mutated in place after "
+                            f"the forward pass (version "
+                            f"{parent._version.value}, expected {expected});"
+                            " backward() would compute gradients from stale"
+                            " values")
+            node._backward(node.grad)
+            if anomaly:
+                for index, parent in enumerate(node._parents):
+                    if parent.requires_grad and parent.grad is not None \
+                            and not np.all(np.isfinite(parent.grad)):
+                        where_made = ("" if node._trace is None
+                                      else f"\n  op created at {node._trace}")
+                        raise RuntimeError(
+                            f"detect_anomaly: op '{_op_name(node._backward)}'"
+                            f" produced a non-finite gradient for its input "
+                            f"{index} (shape {parent.shape}){where_made}")
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic

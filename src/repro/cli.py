@@ -17,6 +17,10 @@ Examples
                                               # sweep mode: per-fit early
                                               # stopping + LR scheduling
                                               # (off by default)
+    ema-gnn table2  --profile tiny --sanitize # debug: abort on the first
+                                              # non-finite gradient, naming
+                                              # the op that produced it
+    ema-gnn lint src/ tests/                  # repo-specific static analysis
 """
 
 from __future__ import annotations
@@ -84,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="per-fit learning-rate schedule "
                                   "(default: off — the paper's constant "
                                   "lr=0.01)")
+            cmd.add_argument("--sanitize", action="store_true",
+                             help="run every fit under detect_anomaly(): "
+                                  "abort on the first non-finite gradient, "
+                                  "naming the op that produced it "
+                                  "(default: off — debugging aid)")
+    lint = sub.add_parser(
+        "lint", help="repo-specific static analysis (REPROxxx rules)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default: text)")
     return parser
 
 
@@ -119,6 +135,8 @@ def _config(args):
         config = replace(config, early_stop_patience=args.early_stop)
     if getattr(args, "lr_schedule", None) is not None:
         config = replace(config, lr_schedule=args.lr_schedule)
+    if getattr(args, "sanitize", False):
+        config = replace(config, sanitize=True)
     return config
 
 
@@ -151,6 +169,11 @@ def _parallel(args):
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from .analysis.cli import run as lint_run
+
+        return lint_run(args.paths, args.format)
 
     if args.command == "scenarios":
         print("Table I: examined scenarios")

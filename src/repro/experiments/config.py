@@ -60,6 +60,11 @@ class ExperimentConfig:
     #: LR schedule kind ("step" or "plateau"), or ``None`` for the
     #: paper's constant lr=0.01 (the default).
     lr_schedule: str | None = None
+    #: Run every fit under :func:`repro.autodiff.detect_anomaly` so the
+    #: first non-finite gradient raises naming the op that produced it.
+    #: Off by default: anomaly mode records per-node creation traces and
+    #: is strictly a debugging aid (CLI ``--sanitize``).
+    sanitize: bool = False
     model: ModelConfig = field(default_factory=ModelConfig)
 
     def trainer_config(self) -> TrainerConfig:
@@ -71,6 +76,8 @@ class ExperimentConfig:
         if self.lr_schedule is not None:
             callbacks.append(CallbackSpec.make(
                 "lr-scheduler", kind=self.lr_schedule))
+        if self.sanitize:
+            callbacks.append(CallbackSpec.make("sanitizer"))
         return TrainerConfig(epochs=self.epochs, callbacks=tuple(callbacks))
 
     def graph_kwargs(self, method: str) -> dict:

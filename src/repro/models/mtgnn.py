@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, no_grad
 from ..nn import (DilatedInception, Dropout, GraphLearner, LayerNorm, Linear,
                   MixHopPropagation, TemporalConv2d)
 from ..nn.container import ModuleList
@@ -80,7 +80,7 @@ class MTGNN(Forecaster):
         else:
             self.use_graph_learning = False
             self.graph_learner = None
-            self._static_adjacency = np.asarray(initial_adjacency, dtype=np.float64)
+            self._static_adjacency = np.asarray(initial_adjacency, dtype=np.float64)  # repro: noqa[REPRO005] — graph matrices are float64 constants
 
         c = hidden_size
         self.start_conv = TemporalConv2d(1, c, 1, rng=rng)
@@ -125,7 +125,7 @@ class MTGNN(Forecaster):
 
     def set_adjacency(self, adjacency: np.ndarray) -> None:
         """Replace the static graph / re-warm-start the learner."""
-        adjacency = np.asarray(adjacency, dtype=np.float64)
+        adjacency = np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REPRO005] — spectral warm start needs full precision
         if self.use_graph_learning and not isinstance(self.graph_learner,
                                                       GraphLearner):
             raise NotImplementedError(
@@ -134,8 +134,9 @@ class MTGNN(Forecaster):
             rng = np.random.default_rng(0)
             e1, e2 = GraphLearner._spectral_warm_start(
                 adjacency, self.graph_learner.embedding_dim, rng)
-            self.graph_learner.emb1.data[...] = e1
-            self.graph_learner.emb2.data[...] = e2
+            with no_grad():
+                self.graph_learner.emb1.copy_(e1)
+                self.graph_learner.emb2.copy_(e2)
         else:
             self._static_adjacency = adjacency
 

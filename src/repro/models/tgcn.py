@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, no_grad
 from ..nn import GCNConv
 from ..nn.module import Module
 
@@ -44,7 +44,8 @@ class TGCNCell(Module):
         self.gates = Linear(2 * hidden_size, 2 * hidden_size, rng=rng)
         self.candidate = Linear(2 * hidden_size, hidden_size, rng=rng)
         # Bias the update gate toward remembering, as T-GCN initializes b=1.
-        self.gates.bias.data[:hidden_size] = 1.0
+        with no_grad():
+            self.gates.bias.data[:hidden_size] = 1.0
 
     def set_adjacency(self, adjacency: np.ndarray) -> None:
         self.graph_conv1.set_adjacency(adjacency)

@@ -52,8 +52,9 @@ class VARForecaster(Forecaster):
 
     def fit_windows(self, windows: WindowSet) -> "VARForecaster":
         """Closed-form ridge fit on a window set."""
-        x = windows.inputs.reshape(windows.num_samples, -1).astype(np.float64)
-        y = windows.targets.astype(np.float64)
+        # repro: noqa[REPRO005] — closed-form ridge solve is always float64
+        x = windows.inputs.reshape(windows.num_samples, -1).astype(np.float64)  # repro: noqa[REPRO005]
+        y = windows.targets.astype(np.float64)  # repro: noqa[REPRO005]
         x_mean = x.mean(axis=0)
         y_mean = y.mean(axis=0)
         xc, yc = x - x_mean, y - y_mean
@@ -83,7 +84,7 @@ class VARForecaster(Forecaster):
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         if not self._fitted:
             raise RuntimeError("VARForecaster.predict called before fit_windows")
-        flat = np.asarray(inputs, dtype=np.float64).reshape(len(inputs), -1)
+        flat = np.asarray(inputs, dtype=np.float64).reshape(len(inputs), -1)  # repro: noqa[REPRO005] — matches the float64 fit
         return flat @ self._coefficients + self._intercept
 
 
@@ -98,7 +99,7 @@ class NaiveMeanForecaster(Forecaster):
         self._mean = np.zeros(num_variables)
 
     def fit_windows(self, windows: WindowSet) -> "NaiveMeanForecaster":
-        self._mean = windows.targets.astype(np.float64).mean(axis=0)
+        self._mean = windows.targets.astype(np.float64).mean(axis=0)  # repro: noqa[REPRO005] — exact mean
         return self
 
     def forward(self, inputs: Tensor) -> Tensor:

@@ -32,7 +32,7 @@ def scaled_laplacian(adjacency: np.ndarray) -> np.ndarray:
     adjacency.  The rescaling maps the spectrum into [-1, 1], the domain of
     the Chebyshev basis.
     """
-    a = np.asarray(adjacency, dtype=np.float64)
+    a = np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REPRO005] — eigendecomposition needs full precision
     a = (a + a.T) / 2.0
     norm = normalize_adjacency(a, add_self_loops=False)
     laplacian = np.eye(a.shape[0]) - norm
@@ -98,7 +98,7 @@ class ChebConv(Module):
     def set_adjacency(self, adjacency: np.ndarray) -> None:
         from ..autodiff.tensor import get_default_dtype
 
-        lap = scaled_laplacian(adjacency).astype(np.float64)
+        lap = scaled_laplacian(adjacency).astype(np.float64)  # repro: noqa[REPRO005] — Chebyshev recursion in full precision, cast to compute dtype below
         n = lap.shape[0]
         basis = [np.eye(n), lap]
         for _ in range(2, self.order):
@@ -212,7 +212,7 @@ class GraphLearner(Module):
     def _spectral_warm_start(adjacency: np.ndarray, dim: int,
                              rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
         """Embed a static graph via its top eigenvectors (plus slight noise)."""
-        a = np.asarray(adjacency, dtype=np.float64)
+        a = np.asarray(adjacency, dtype=np.float64)  # repro: noqa[REPRO005] — eigh stability
         sym = (a + a.T) / 2.0
         eigvals, eigvecs = np.linalg.eigh(sym)
         order = np.argsort(np.abs(eigvals))[::-1][:dim]

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, no_grad
 from . import init
 from .activations import ReLU
 from .container import Sequential
@@ -46,7 +46,7 @@ def series_node_features(series: np.ndarray, projection_dim: int = 8,
     land close in projection space, which is the similarity signal the
     pairwise MLP learns to convert into edges.
     """
-    x = np.asarray(series, dtype=np.float64)
+    x = np.asarray(series, dtype=np.float64)  # repro: noqa[REPRO005] — moment statistics in full precision
     if x.ndim != 2:
         raise ValueError(f"series must be (time, nodes), got {x.shape}")
     t, v = x.shape
@@ -105,7 +105,8 @@ class GTSGraphLearner(Module):
             Linear(hidden, 1, rng=rng),
         )
         # Start near-neutral so early training is not dominated by a bad graph.
-        self.edge_mlp[2].weight.data *= 0.1
+        with no_grad():
+            self.edge_mlp[2].weight.data *= 0.1
 
     def forward(self) -> Tensor:
         logits = self.edge_mlp(self._pair_features).reshape(

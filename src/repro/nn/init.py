@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..autodiff import get_default_dtype
+
 __all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "uniform", "zeros", "ones"]
 
 
@@ -51,9 +53,9 @@ def uniform(shape, rng: np.random.Generator, low: float = -0.1, high: float = 0.
 
 def zeros(shape) -> np.ndarray:
     """All-zeros init (biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape) -> np.ndarray:
     """All-ones init (normalization gains)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=get_default_dtype())

@@ -14,7 +14,7 @@ from typing import Iterator
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, no_grad
 
 __all__ = ["Parameter", "Module"]
 
@@ -113,12 +113,13 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
-        for name, param in own.items():
-            value = np.asarray(state[name])
-            if value.shape != param.shape:
-                raise ValueError(f"shape mismatch for {name}: "
-                                 f"{value.shape} vs {param.shape}")
-            param.data[...] = value
+        with no_grad():
+            for name, param in own.items():
+                value = np.asarray(state[name])
+                if value.shape != param.shape:
+                    raise ValueError(f"shape mismatch for {name}: "
+                                     f"{value.shape} vs {param.shape}")
+                param.copy_(value)
 
     # ------------------------------------------------------------------
     # Invocation

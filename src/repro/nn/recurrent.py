@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, stack
+from ..autodiff import Tensor, concat, no_grad, stack
 from .linear import Linear
 from .module import Module
 
@@ -33,7 +33,8 @@ class GRUCell(Module):
         self.gates = Linear(input_size + hidden_size, 2 * hidden_size, rng=rng)
         self.candidate = Linear(input_size + hidden_size, hidden_size, rng=rng)
         # Bias the update gate toward remembering (as T-GCN does with b=1).
-        self.gates.bias.data[:hidden_size] = 1.0
+        with no_grad():
+            self.gates.bias.data[:hidden_size] = 1.0
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         if x.shape[-1] != self.input_size:
@@ -63,7 +64,8 @@ class LSTMCell(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.gates = Linear(input_size + hidden_size, 4 * hidden_size, rng=rng)
-        self.gates.bias.data[hidden_size:2 * hidden_size] = 1.0  # forget gate
+        with no_grad():
+            self.gates.bias.data[hidden_size:2 * hidden_size] = 1.0  # forget gate
 
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
         h, c = state

@@ -6,6 +6,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..autodiff import no_grad
 from ..nn.module import Parameter
 from .optimizer import Optimizer
 
@@ -35,16 +36,17 @@ class Adam(Optimizer):
         t = self._step_count
         bias1 = 1.0 - self.beta1 ** t
         bias2 = 1.0 - self.beta2 ** t
-        for p, m, v in zip(self.parameters, self._m, self._v):
-            if p.grad is None:
-                continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        with no_grad():
+            for p, m, v in zip(self.parameters, self._m, self._v):
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * p.data
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad * grad
+                m_hat = m / bias1
+                v_hat = v / bias2
+                p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

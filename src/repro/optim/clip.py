@@ -6,6 +6,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..autodiff import no_grad
 from ..nn.module import Parameter
 
 __all__ = ["clip_grad_norm", "clip_grad_value"]
@@ -22,8 +23,9 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for p in params:
-            p.grad *= scale
+        with no_grad():
+            for p in params:
+                p.grad *= scale
     return total
 
 
@@ -31,6 +33,7 @@ def clip_grad_value(parameters: Iterable[Parameter], max_value: float) -> None:
     """Clamp every gradient element to [-max_value, max_value]."""
     if max_value <= 0:
         raise ValueError("max_value must be positive")
-    for p in parameters:
-        if p.grad is not None:
-            np.clip(p.grad, -max_value, max_value, out=p.grad)
+    with no_grad():
+        for p in parameters:
+            if p.grad is not None:
+                np.clip(p.grad, -max_value, max_value, out=p.grad)

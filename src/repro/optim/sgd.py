@@ -6,6 +6,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..autodiff import no_grad
 from ..nn.module import Parameter
 from .optimizer import Optimizer
 
@@ -25,14 +26,15 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, velocity in zip(self.parameters, self._velocity):
-            if p.grad is None:
-                continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                grad = velocity
-            p.data -= self.lr * grad
+        with no_grad():
+            for p, velocity in zip(self.parameters, self._velocity):
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * p.data
+                if self.momentum:
+                    velocity *= self.momentum
+                    velocity += grad
+                    grad = velocity
+                p.data -= self.lr * grad

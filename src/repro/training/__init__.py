@@ -2,7 +2,8 @@
 
 from .callbacks import (Callback, CallbackSpec, DivergenceGuard,
                         EarlyStopping, EpochTimer, GradClipCallback,
-                        LRSchedulerCallback, TrainingContext, build_callbacks)
+                        LRSchedulerCallback, SanitizerCallback,
+                        TrainingContext, build_callbacks)
 from .history import EpochRecord, TrainingHistory
 from .parallel import (CohortCell, CohortCheckpoint, GraphCache,
                        ParallelConfig, execute_cell, run_cells)
@@ -18,4 +19,4 @@ __all__ = ["TrainingHistory", "EpochRecord", "IndividualResult",
            "execute_cell", "run_cells", "Callback", "CallbackSpec",
            "TrainingContext", "build_callbacks", "EarlyStopping",
            "LRSchedulerCallback", "GradClipCallback", "DivergenceGuard",
-           "EpochTimer"]
+           "EpochTimer", "SanitizerCallback"]

@@ -26,7 +26,10 @@ Provided callbacks:
   :class:`~repro.optim.schedule.ReduceLROnPlateau` from epoch events;
 * :class:`DivergenceGuard` — non-finite loss restores the best finite
   weights and halts instead of training on NaNs;
-* :class:`EpochTimer` — stamps per-epoch wall-clock onto the history.
+* :class:`EpochTimer` — stamps per-epoch wall-clock onto the history;
+* :class:`SanitizerCallback` — runs the whole fit under
+  :func:`repro.autodiff.detect_anomaly`, so the first non-finite gradient
+  raises naming the op that produced it (the CLI's ``--sanitize`` flag).
 """
 
 from __future__ import annotations
@@ -47,7 +50,8 @@ if TYPE_CHECKING:
 
 __all__ = ["TrainingContext", "Callback", "CallbackSpec", "build_callbacks",
            "EarlyStopping", "LRSchedulerCallback", "GradClipCallback",
-           "DivergenceGuard", "EpochTimer", "CALLBACK_REGISTRY"]
+           "DivergenceGuard", "EpochTimer", "SanitizerCallback",
+           "CALLBACK_REGISTRY"]
 
 
 @dataclass
@@ -284,10 +288,37 @@ class EpochTimer(Callback):
             ctx.history.records[-1].duration = duration
 
 
+class SanitizerCallback(Callback):
+    """Run every backward pass of the fit under ``detect_anomaly()``.
+
+    ``on_fit_start`` enters the anomaly context and ``on_fit_end`` leaves
+    it; because the engine dispatches ``on_fit_end`` from a ``finally``
+    block, the global anomaly flag is restored even when the sanitizer
+    itself aborts the fit by raising.  Off by default — anomaly mode
+    records a creation trace per graph node, so it costs real time and is
+    strictly a debugging tool (``--sanitize`` on the CLI).
+    """
+
+    def __init__(self):
+        self._anomaly = None
+
+    def on_fit_start(self, ctx: TrainingContext) -> None:
+        from ..autodiff import detect_anomaly
+
+        self._anomaly = detect_anomaly()
+        self._anomaly.__enter__()
+
+    def on_fit_end(self, ctx: TrainingContext) -> None:
+        if self._anomaly is not None:
+            self._anomaly.__exit__(None, None, None)
+            self._anomaly = None
+
+
 CALLBACK_REGISTRY: dict[str, Callable[..., Callback]] = {
     "grad-clip": GradClipCallback,
     "early-stopping": EarlyStopping,
     "lr-scheduler": LRSchedulerCallback,
     "divergence-guard": DivergenceGuard,
     "epoch-timer": EpochTimer,
+    "sanitizer": SanitizerCallback,
 }

@@ -138,10 +138,15 @@ class Trainer:
                     hook(ctx)
                 if ctx.stop_requested:
                     break
-            for hook in self._hooks(stack, "on_fit_end"):
-                hook(ctx)
         finally:
-            model.train(was_training)
+            # on_fit_end must run even when an epoch raised (e.g. the
+            # sanitizer aborting on a non-finite gradient): callbacks use
+            # it to release global state such as the anomaly-mode flag.
+            try:
+                for hook in self._hooks(stack, "on_fit_end"):
+                    hook(ctx)
+            finally:
+                model.train(was_training)
         history.stop_reason = ctx.stop_reason
         return history
 

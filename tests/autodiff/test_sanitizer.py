@@ -1,0 +1,162 @@
+"""Autodiff sanitizers: version counters, staleness checks, anomaly mode."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (Tensor, detect_anomaly, is_anomaly_enabled,
+                            no_grad)
+
+
+# ----------------------------------------------------------------------
+# Version counters
+# ----------------------------------------------------------------------
+
+class TestVersionCounter:
+    def test_data_rebind_bumps_version(self):
+        t = Tensor([1.0, 2.0])
+        before = t._version.value
+        t.data = np.array([3.0, 4.0])
+        assert t._version.value == before + 1
+
+    def test_augmented_assignment_bumps_version(self):
+        t = Tensor([1.0, 2.0])
+        before = t._version.value
+        t.data -= 0.5   # goes through the property setter
+        assert t._version.value == before + 1
+
+    def test_copy_bumps_version_and_preserves_storage(self):
+        t = Tensor([1.0, 2.0])
+        storage = t.data
+        before = t._version.value
+        t.copy_([5.0, 6.0])
+        assert t._version.value == before + 1
+        assert t.data is storage
+        np.testing.assert_array_equal(t.data, [5.0, 6.0])
+
+    def test_raw_element_write_is_invisible(self):
+        # Documented limitation: writes through the raw ndarray bypass the
+        # counter — use copy_() for in-place updates the engine should see.
+        t = Tensor([1.0, 2.0])
+        before = t._version.value
+        t.data[0] = 9.0
+        assert t._version.value == before
+
+
+class TestStalenessCheck:
+    def test_mutation_between_forward_and_backward_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        w = Tensor([3.0, 4.0], requires_grad=True)
+        out = (x * w).sum()
+        x.data = np.array([10.0, 20.0])
+        with pytest.raises(RuntimeError, match="mutated in place"):
+            out.backward()
+
+    def test_error_names_the_op(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        w = Tensor([3.0, 4.0], requires_grad=True)
+        out = (x * w).sum()
+        x.copy_([10.0, 20.0])
+        with pytest.raises(RuntimeError, match="__mul__"):
+            out.backward()
+
+    def test_untouched_graph_backpropagates(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        w = Tensor([3.0, 4.0], requires_grad=True)
+        (x * w).sum().backward()
+        np.testing.assert_array_equal(x.grad, [3.0, 4.0])
+
+    def test_mutation_after_backward_is_fine(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        out = (x * x).sum()
+        out.backward()
+        x.data = np.array([7.0, 8.0])   # graph already consumed
+        np.testing.assert_array_equal(x.grad, [2.0, 4.0])
+
+    def test_optimizer_style_update_then_fresh_forward(self):
+        # The training loop's pattern: forward, backward, in-place update,
+        # new forward — never stale because each epoch records a new graph.
+        w = Tensor([1.0], requires_grad=True)
+        for _ in range(3):
+            loss = (w * w).sum()
+            loss.backward()
+            with no_grad():
+                w.data = w.data - 0.1 * w.grad
+            w.zero_grad()
+
+
+class TestDetachAliasing:
+    def test_detach_aliases_storage(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        view = t.detach()
+        assert view.data is t.data
+        assert not view.requires_grad
+
+    def test_detach_shares_version_counter(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        view = t.detach()
+        before = t._version.value
+        view.copy_([9.0, 9.0])
+        assert t._version.value == before + 1
+
+    def test_mutation_through_view_caught_at_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        out = (x * x).sum()
+        x.detach().copy_([5.0, 5.0])
+        with pytest.raises(RuntimeError, match="mutated in place"):
+            out.backward()
+
+
+# ----------------------------------------------------------------------
+# Anomaly mode
+# ----------------------------------------------------------------------
+
+class TestDetectAnomaly:
+    def test_flag_scoping(self):
+        assert not is_anomaly_enabled()
+        with detect_anomaly():
+            assert is_anomaly_enabled()
+            with detect_anomaly():     # re-entrant
+                assert is_anomaly_enabled()
+            assert is_anomaly_enabled()
+        assert not is_anomaly_enabled()
+
+    def test_flag_restored_after_exception(self):
+        with pytest.raises(ValueError):
+            with detect_anomaly():
+                raise ValueError("boom")
+        assert not is_anomaly_enabled()
+
+    def test_names_op_producing_nonfinite_gradient(self):
+        x = Tensor([0.0, 1.0], requires_grad=True)
+        with detect_anomaly(), np.errstate(divide="ignore", invalid="ignore"):
+            out = x.log().sum()        # d/dx log(x) = 1/x -> inf at x=0
+            with pytest.raises(RuntimeError,
+                               match=r"detect_anomaly: op 'log'"):
+                out.backward()
+
+    def test_error_carries_creation_site(self):
+        x = Tensor([0.0, 1.0], requires_grad=True)
+        with detect_anomaly(), np.errstate(divide="ignore", invalid="ignore"):
+            out = x.log().sum()
+            with pytest.raises(RuntimeError, match="test_sanitizer"):
+                out.backward()
+
+    def test_without_anomaly_nan_propagates_silently(self):
+        x = Tensor([0.0, 1.0], requires_grad=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = x.log().sum()
+            out.backward()             # legacy behavior: no raise
+        assert np.isinf(x.grad).any()
+
+    def test_anomaly_mode_does_not_change_values(self):
+        def run():
+            x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+            out = (x.exp() * x).sum()
+            out.backward()
+            return out.data.copy(), x.grad.copy()
+
+        plain_out, plain_grad = run()
+        with detect_anomaly():
+            anomaly_out, anomaly_grad = run()
+        np.testing.assert_array_equal(plain_out, anomaly_out)
+        np.testing.assert_array_equal(plain_grad, anomaly_grad)

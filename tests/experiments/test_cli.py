@@ -93,6 +93,20 @@ class TestParser:
         config = _parse_config(["table2"])
         assert config.trainer_config().callbacks == ()
 
+    def test_sanitize_flag_on_experiment_commands(self):
+        for command in ("table2", "table3", "fig3"):
+            assert build_parser().parse_args([command, "--sanitize"]).sanitize
+            assert not build_parser().parse_args([command]).sanitize
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cohort", "--sanitize"])
+
+    def test_sanitize_reaches_trainer_config(self):
+        config = _parse_config(["table2", "--sanitize"])
+        assert config.sanitize
+        specs = config.trainer_config().callbacks
+        assert [s.name for s in specs] == ["sanitizer"]
+        assert not _parse_config(["table2"]).sanitize
+
     def test_bad_arguments_exit_code_2(self):
         for argv in ([], ["table2", "--profile", "huge"],
                      ["no-such-command"], ["table2", "--jobs", "lots"],
@@ -120,6 +134,17 @@ class TestCommands:
         assert main(["cohort", "--profile", "tiny", "--seed", "123",
                      "--quiet"]) == 0
         assert "seed=123" in capsys.readouterr().out
+
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+
+    def test_lint_findings_exit_one(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "training"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "REPRO001" in capsys.readouterr().out
 
 
 class TestTableRuns:
@@ -185,3 +210,14 @@ class TestTableRuns:
         # Patience-1 early stopping on a 2-epoch micro profile can change
         # results but must never crash or alter the no-flags baseline.
         assert (plain_dir / "table2.csv").exists()
+
+    def test_sanitize_runs_end_to_end(self, micro_tiny, tmp_path, capsys):
+        """--sanitize threads through the runner and changes no numbers."""
+        plain_dir, sane_dir = tmp_path / "plain", tmp_path / "sane"
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--out", str(plain_dir)]) == 0
+        assert main(["table2", "--profile", "tiny", "--quiet", "--sanitize",
+                     "--out", str(sane_dir)]) == 0
+        capsys.readouterr()
+        plain = (plain_dir / "table2.csv").read_text()
+        assert (sane_dir / "table2.csv").read_text() == plain

@@ -1,0 +1,83 @@
+"""SanitizerCallback: anomaly-mode lifecycle inside the training engine."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.autodiff import is_anomaly_enabled
+from repro.data import make_windows
+from repro.models import create_model
+from repro.training import (Callback, CallbackSpec, SanitizerCallback,
+                            Trainer, TrainerConfig)
+
+V, L = 4, 2
+
+
+def learnable_series(t=60, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros((t, V))
+    state = rng.standard_normal(V)
+    for i in range(t):
+        state = 0.8 * state + 0.4 * rng.standard_normal(V)
+        x[i] = state
+    return (x - x.mean(0)) / x.std(0)
+
+
+def _fit(epochs=5, callbacks=(), seed=0):
+    windows = make_windows(learnable_series(seed=seed), L)
+    model = create_model("lstm", V, L, seed=seed)
+    config = TrainerConfig(epochs=epochs, callbacks=tuple(callbacks))
+    history = Trainer(config).fit(model, windows)
+    return model, history
+
+
+class _AnomalyProbe(Callback):
+    """Records whether anomaly mode was active during the epochs."""
+
+    def __init__(self):
+        self.seen: list[bool] = []
+
+    def on_epoch_start(self, ctx):
+        self.seen.append(is_anomaly_enabled())
+
+
+class TestSanitizerCallback:
+    def test_spec_is_picklable(self):
+        spec = CallbackSpec.make("sanitizer")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert isinstance(clone.build(), SanitizerCallback)
+
+    def test_anomaly_mode_active_during_fit_only(self):
+        probe = _AnomalyProbe()
+        windows = make_windows(learnable_series(), L)
+        model = create_model("lstm", V, L, seed=0)
+        config = TrainerConfig(epochs=3,
+                               callbacks=(CallbackSpec.make("sanitizer"),))
+        assert not is_anomaly_enabled()
+        Trainer(config).fit(model, windows, callbacks=[probe])
+        assert probe.seen == [True, True, True]
+        assert not is_anomaly_enabled()
+
+    def test_anomaly_flag_released_when_fit_raises(self):
+        class Boom(Callback):
+            def on_epoch_end(self, ctx):
+                raise RuntimeError("boom")
+
+        windows = make_windows(learnable_series(), L)
+        model = create_model("lstm", V, L, seed=0)
+        config = TrainerConfig(epochs=3,
+                               callbacks=(CallbackSpec.make("sanitizer"),))
+        with pytest.raises(RuntimeError, match="boom"):
+            Trainer(config).fit(model, windows, callbacks=[Boom()])
+        assert not is_anomaly_enabled()
+
+    def test_sanitized_fit_is_bit_identical_to_plain_fit(self):
+        # The sanitizer only observes: losses and learned parameters must
+        # match the plain fit bit for bit (the --sanitize off guarantee).
+        plain_model, plain_history = _fit()
+        sane_model, sane_history = _fit(
+            callbacks=(CallbackSpec.make("sanitizer"),))
+        assert plain_history.losses == sane_history.losses
+        for key, value in plain_model.state_dict().items():
+            np.testing.assert_array_equal(value, sane_model.state_dict()[key])
