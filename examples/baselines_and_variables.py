@@ -46,7 +46,7 @@ def main() -> None:
         var = VARForecaster(person.num_variables, SEQ_LEN).fit_windows(split.train)
 
         graph = build_adjacency(person.values[:split.boundary], "correlation",
-                                keep_fraction=0.2)
+                                gdt=0.2)
         gnn = create_model("astgcn", person.num_variables, SEQ_LEN,
                            adjacency=graph, seed=4)
         trainer.fit(gnn, split.train)

@@ -33,7 +33,6 @@ def main() -> None:
     split = split_windows(person.values, SEQ_LEN)
     train_segment = person.values[:split.boundary]
     trainer = Trainer(TrainerConfig(epochs=40))
-    rng = np.random.default_rng(0)
 
     print(f"participant {person.identifier}: {person.num_time_points} x "
           f"{person.num_variables}")
@@ -42,8 +41,8 @@ def main() -> None:
     for method in METHODS:
         for gdt in GDTS:
             kwargs = {"k": 5} if method == "knn" else {}
-            graph = build_adjacency(train_segment, method, keep_fraction=gdt,
-                                    rng=rng, **kwargs)
+            graph = build_adjacency(train_segment, method, gdt=gdt,
+                                    seed=0, **kwargs)
             recovery = graph_correlation(graph, truth)
             model = create_model("astgcn", person.num_variables, SEQ_LEN,
                                  adjacency=graph, seed=3)

@@ -43,7 +43,7 @@ def main() -> None:
     for person in cohort:
         split_boundary = int(round(0.7 * person.num_time_points))
         static = build_adjacency(person.values[:split_boundary], "knn",
-                                 keep_fraction=0.2, k=5)
+                                 gdt=0.2, k=5)
 
         mtgnn, mtgnn_mse = train_and_score("mtgnn", person, static, seed=11)
         learned = prepare_learned_graph(mtgnn.learned_graph(),

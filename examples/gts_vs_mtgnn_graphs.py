@@ -39,7 +39,7 @@ def main() -> None:
     person = cohort[0]
     split = split_windows(person.values, SEQ_LEN)
     train_segment = person.values[:split.boundary]
-    static = build_adjacency(train_segment, "correlation", keep_fraction=0.2)
+    static = build_adjacency(train_segment, "correlation", gdt=0.2)
     truth = person.ground_truth_graph
     trainer = Trainer(TrainerConfig(epochs=EPOCHS, weight_decay=1e-4))
 

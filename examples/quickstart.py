@@ -42,7 +42,7 @@ def main() -> None:
     # 2. Graph ----------------------------------------------------------
     split = split_windows(participant.values, SEQ_LEN, train_fraction=0.7)
     train_segment = participant.values[:split.boundary]
-    graph = build_adjacency(train_segment, "correlation", keep_fraction=0.2)
+    graph = build_adjacency(train_segment, "correlation", gdt=0.2)
     print(f"correlation graph (GDT=20%): {summarize(graph)}")
 
     # 3. Train ----------------------------------------------------------

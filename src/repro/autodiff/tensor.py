@@ -20,6 +20,7 @@ broadcast patterns) and validated against finite differences in
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter as _perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -128,6 +129,22 @@ def _op_name(backward: Callable) -> str:
         name = head.rsplit(".", 1)[-1]
         _OP_NAME_CACHE[code] = name
     return name
+
+
+_BACKWARD_OP_HOOK: Callable[[str, float, float, int], None] | None = None
+
+
+def set_backward_op_hook(hook: Callable | None) -> None:
+    """Install a per-op timing probe for :meth:`Tensor.backward`.
+
+    ``hook(op_name, start, end, grad_nbytes)`` is called after each node's
+    backward closure runs, with ``time.perf_counter`` stamps.  Pass ``None``
+    to uninstall.  This is the profiler's entry point
+    (:mod:`repro.profiling`); the disabled path costs one local ``is None``
+    test per graph node, so an unprofiled ``backward()`` is unaffected.
+    """
+    global _BACKWARD_OP_HOOK
+    _BACKWARD_OP_HOOK = hook
 
 
 class Tensor:
@@ -319,6 +336,7 @@ class Tensor:
                 "detect_anomaly: backward() was seeded with a non-finite "
                 "gradient")
         self._accumulate(grad)
+        hook = _BACKWARD_OP_HOOK
         for node in reversed(topo):
             if node._backward is None or node.grad is None:
                 continue
@@ -334,7 +352,13 @@ class Tensor:
                             f"{parent._version.value}, expected {expected});"
                             " backward() would compute gradients from stale"
                             " values")
-            node._backward(node.grad)
+            if hook is None:
+                node._backward(node.grad)
+            else:
+                begin = _perf_counter()
+                node._backward(node.grad)
+                hook(_op_name(node._backward), begin, _perf_counter(),
+                     node.grad.nbytes)
             if anomaly:
                 for index, parent in enumerate(node._parents):
                     if parent.requires_grad and parent.grad is not None \

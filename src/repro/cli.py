@@ -20,7 +20,16 @@ Examples
     ema-gnn table2  --profile tiny --sanitize # debug: abort on the first
                                               # non-finite gradient, naming
                                               # the op that produced it
+    ema-gnn table2  --profile tiny --profiler \\
+            --profile-out prof/               # attach the op-level profiler
+                                              # to every fit; print the
+                                              # hot-op table and write a
+                                              # Chrome trace + JSON report
+    ema-gnn profile --target table2           # dedicated profiling run
     ema-gnn lint src/ tests/                  # repo-specific static analysis
+
+(``--profile`` selects the experiment *scale*; the op-level wall-clock
+profiler is ``--profiler`` / the ``profile`` subcommand.)
 """
 
 from __future__ import annotations
@@ -42,6 +51,12 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return number
+
+
+def _optimizer_names() -> tuple[str, ...]:
+    from .optim import OPTIMIZER_REGISTRY
+
+    return tuple(sorted(OPTIMIZER_REGISTRY))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +108,35 @@ def build_parser() -> argparse.ArgumentParser:
                                   "abort on the first non-finite gradient, "
                                   "naming the op that produced it "
                                   "(default: off — debugging aid)")
+            cmd.add_argument("--optimizer", choices=_optimizer_names(),
+                             default=None,
+                             help="optimizer registry name for every fit "
+                                  "(default: adam, the paper's choice)")
+            cmd.add_argument("--profiler", action="store_true",
+                             help="attach the op-level profiler to every "
+                                  "fit and print the aggregated hot-op "
+                                  "table (not to be confused with "
+                                  "--profile, the experiment scale)")
+            cmd.add_argument("--profile-out", default=None, metavar="DIR",
+                             help="with --profiler: also write trace.json "
+                                  "(chrome://tracing) and profile.json here")
+    prof = sub.add_parser(
+        "profile", help="profile one experiment's hot ops and write a "
+                        "Chrome trace")
+    prof.add_argument("--target", choices=("table2", "table3", "fig3"),
+                      default="table2",
+                      help="experiment to profile (default: table2)")
+    prof.add_argument("--profile", choices=sorted(PROFILES), default="tiny",
+                      help="experiment scale (default: tiny)")
+    prof.add_argument("--seed", type=int, default=None,
+                      help="override the profile's seed")
+    prof.add_argument("--quiet", action="store_true",
+                      help="suppress progress lines")
+    prof.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                      help="worker processes for the cohort loop")
+    prof.add_argument("--out", default="profile", metavar="DIR",
+                      help="directory for trace.json + profile.json "
+                           "(default: ./profile)")
     lint = sub.add_parser(
         "lint", help="repo-specific static analysis (REPROxxx rules)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
@@ -137,7 +181,51 @@ def _config(args):
         config = replace(config, lr_schedule=args.lr_schedule)
     if getattr(args, "sanitize", False):
         config = replace(config, sanitize=True)
+    if getattr(args, "optimizer", None) is not None:
+        config = replace(config, optimizer=args.optimizer)
+    if getattr(args, "profiler", False) or args.command == "profile":
+        config = replace(config, profile=True)
     return config
+
+
+def _collect_profile_reports(result) -> list:
+    """Pull every per-fit ProfileReport off a runner result's raw cells."""
+    reports = []
+    for key, individual_results in getattr(result, "raw", {}).items():
+        condition = "/".join(str(part) for part in key)
+        for item in individual_results:
+            history = getattr(item, "history", None)
+            report = getattr(history, "profile", None)
+            if report is not None:
+                report.label = f"{condition}/{item.identifier}"
+                reports.append(report)
+    return reports
+
+
+def _emit_profile(result, out_dir: str | None) -> int:
+    """Print the merged hot-op table; optionally write trace + JSON files."""
+    import json
+    from pathlib import Path
+
+    from .profiling import ProfileReport, write_chrome_trace
+
+    reports = _collect_profile_reports(result)
+    if not reports:
+        print("no profile reports collected (profiler produced no data)",
+              file=sys.stderr)
+        return 1
+    merged = ProfileReport.merge(reports, label="all fits")
+    print()
+    print(merged.render())
+    if out_dir:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        trace = write_chrome_trace(directory / "trace.json", reports)
+        summary = directory / "profile.json"
+        summary.write_text(json.dumps(merged.to_json(), indent=2))
+        print(f"wrote {trace}")
+        print(f"wrote {summary}")
+    return 0
 
 
 def _progress(args):
@@ -162,7 +250,8 @@ def _parallel(args):
                 else f", eta {int(eta) // 60:02d}:{int(eta) % 60:02d}"
             print(f"    cell {done}/{total}{eta_text} — {label}",
                   file=sys.stderr)
-    return ParallelConfig(jobs=args.jobs, checkpoint=args.checkpoint,
+    return ParallelConfig(jobs=args.jobs,
+                          checkpoint=getattr(args, "checkpoint", None),
                           progress=cell_progress)
 
 
@@ -198,14 +287,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  variables: {', '.join(dataset.variable_names)}")
         return 0
 
-    runner = {"table2": run_experiment_a,
-              "table3": run_experiment_b,
-              "fig3": run_experiment_c}[args.command]
+    runners = {"table2": run_experiment_a,
+               "table3": run_experiment_b,
+               "fig3": run_experiment_c}
+
+    if args.command == "profile":
+        runner = runners[args.target]
+        result = runner(dataset, config, progress=_progress(args),
+                        parallel=_parallel(args))
+        return _emit_profile(result, args.out)
+
+    runner = runners[args.command]
     result = runner(dataset, config, progress=_progress(args),
                     parallel=_parallel(args))
     print(result.render())
-    if getattr(args, "out", None):
+    if getattr(args, "out", None) and args.command in ("table2", "table3"):
         _export_table(result, args.command, args.out)
+    if getattr(args, "profiler", False):
+        status = _emit_profile(result, getattr(args, "profile_out", None))
+        if status:
+            return status
     return 0
 
 

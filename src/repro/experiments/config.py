@@ -65,6 +65,13 @@ class ExperimentConfig:
     #: Off by default: anomaly mode records per-node creation traces and
     #: is strictly a debugging aid (CLI ``--sanitize``).
     sanitize: bool = False
+    #: Optimizer registry name used by every per-individual fit
+    #: (:data:`repro.optim.OPTIMIZER_REGISTRY`; paper: ``"adam"``).
+    optimizer: str = "adam"
+    #: Attach the op-level profiler (:mod:`repro.profiling`) to every fit;
+    #: each :class:`~repro.training.history.TrainingHistory` then carries a
+    #: :class:`~repro.profiling.ProfileReport` (CLI ``--profiler``).
+    profile: bool = False
     model: ModelConfig = field(default_factory=ModelConfig)
 
     def trainer_config(self) -> TrainerConfig:
@@ -78,7 +85,10 @@ class ExperimentConfig:
                 "lr-scheduler", kind=self.lr_schedule))
         if self.sanitize:
             callbacks.append(CallbackSpec.make("sanitizer"))
-        return TrainerConfig(epochs=self.epochs, callbacks=tuple(callbacks))
+        if self.profile:
+            callbacks.append(CallbackSpec.make("profiler"))
+        return TrainerConfig(epochs=self.epochs, optimizer=self.optimizer,
+                             callbacks=tuple(callbacks))
 
     def graph_kwargs(self, method: str) -> dict:
         if method == "knn":

@@ -18,10 +18,13 @@ from .knn import knn_adjacency, knn_from_similarity
 from .learned import prepare_learned_graph
 from .properties import degree_stats, graph_correlation, is_symmetric, summarize
 from .random_graph import random_adjacency, random_like
+from .registry import (GRAPH_REGISTRY, get_graph_builder,
+                       register_graph_method)
 from .sparsify import density, sparsify
 
 __all__ = [
     "GraphMethod", "STATIC_METHODS", "EXTENDED_METHODS", "build_adjacency",
+    "GRAPH_REGISTRY", "get_graph_builder", "register_graph_method",
     "cosine_adjacency", "partial_correlation_adjacency",
     "mutual_information_adjacency",
     "CommunityReport", "detect_communities", "adjusted_rand_index",

@@ -9,6 +9,7 @@ than from data and therefore has no builder here).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -19,8 +20,7 @@ from .euclidean import euclidean_adjacency
 from .extended import (cosine_adjacency, mutual_information_adjacency,
                        partial_correlation_adjacency)
 from .knn import knn_adjacency
-from .random_graph import random_adjacency
-from .sparsify import sparsify
+from .registry import get_graph_builder
 
 __all__ = ["STATIC_METHODS", "EXTENDED_METHODS", "build_adjacency", "GraphMethod"]
 
@@ -68,38 +68,69 @@ EXTENDED_METHODS: dict[str, Callable[..., np.ndarray]] = {
 }
 
 
-def build_adjacency(series: np.ndarray, method: str,
-                    keep_fraction: float = 1.0,
+def build_adjacency(series: np.ndarray, method: str, *legacy,
+                    gdt: float | None = None, seed: int | None = None,
+                    keep_fraction: float | None = None,
                     rng: np.random.Generator | None = None,
                     **kwargs) -> np.ndarray:
     """Build a variable graph from an individual's ``(time, variables)`` data.
+
+    Thin front end over the graph-builder registry
+    (:func:`repro.graphs.registry.get_graph_builder`); every method shares
+    the uniform keyword-only call form::
+
+        build_adjacency(series, method, gdt=0.2, seed=7, **method_kwargs)
 
     Parameters
     ----------
     series:
         Individual EMA data, time on axis 0.
     method:
-        One of ``euclidean | knn | dtw | correlation | random``.
-    keep_fraction:
-        Graph density threshold (GDT); applied after construction.
-    rng:
-        Required for ``method="random"``.
+        Any registered method: ``euclidean | knn | dtw | correlation |
+        cosine | partial_correlation | mutual_information | random``.
+    gdt:
+        Graph density threshold; applied after construction (default 1.0).
+    seed:
+        RNG seed for stochastic methods (``random``); deterministic
+        metrics accept and ignore it.
     kwargs:
         Metric-specific options (``k`` for knn, ``window``/``bandwidth``
-        for dtw, ``bandwidth`` for euclidean).
+        for dtw, ``bandwidth`` for euclidean, ``shrinkage`` for
+        partial_correlation, ``bins`` for mutual_information).
+
+    Deprecated call forms (still work, emit ``DeprecationWarning``): the
+    ``keep_fraction=`` / ``rng=`` keywords and the old third/fourth
+    positional arguments ``(keep_fraction, rng)``.
     """
-    series = np.asarray(series, dtype=np.float64)
+    deprecated = []
+    if legacy:
+        if len(legacy) > 2:
+            raise TypeError(
+                f"build_adjacency() takes at most 2 positional arguments "
+                f"after method, got {len(legacy)}")
+        deprecated.append("positional (keep_fraction, rng)")
+        if keep_fraction is None:
+            keep_fraction = legacy[0]
+        if len(legacy) == 2 and rng is None:
+            rng = legacy[1]
+    else:
+        if keep_fraction is not None:
+            deprecated.append("keep_fraction= (use gdt=)")
+        if rng is not None:
+            deprecated.append("rng= (use seed=)")
+    if gdt is not None and keep_fraction is not None:
+        raise TypeError(
+            "pass either gdt= or the deprecated keep_fraction=, not both")
+    if deprecated:
+        warnings.warn(
+            "deprecated build_adjacency call form: " + "; ".join(deprecated)
+            + " — the uniform signature is build_adjacency(series, method, "
+            "*, gdt=..., seed=...)", DeprecationWarning, stacklevel=2)
+    if gdt is None:
+        gdt = 1.0 if keep_fraction is None else keep_fraction
+    builder = get_graph_builder(method)
     if method == GraphMethod.RANDOM:
-        if rng is None:
-            raise ValueError("random graphs need an explicit rng")
-        v = series.shape[1]
-        max_edges = v * (v - 1) // 2
-        num_edges = max(1, int(round(keep_fraction * max_edges)))
-        return random_adjacency(v, num_edges, rng)
-    builders = {**STATIC_METHODS, **EXTENDED_METHODS}
-    if method not in builders:
-        raise ValueError(
-            f"unknown graph method {method!r}; expected one of "
-            f"{sorted(builders) + [GraphMethod.RANDOM]}")
-    adjacency = builders[method](series, **kwargs)
-    return sparsify(adjacency, keep_fraction)
+        return builder(series, gdt=gdt, seed=seed, rng=rng, **kwargs)
+    # Deterministic metrics never used the rng; drop it silently so the
+    # deprecated uniform-loop call style keeps working.
+    return builder(series, gdt=gdt, seed=seed, **kwargs)

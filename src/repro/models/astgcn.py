@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, stack
+from ..autodiff import Tensor
 from ..nn import (ChebConv, Dropout, LayerNorm, Linear, SpatialAttention,
                   TemporalAttention, TemporalConv2d)
 from .base import Forecaster
@@ -67,12 +67,14 @@ class ASTGCN(Forecaster):
         # 2. spatial attention from the re-weighted signal.
         s_att = self.spatial_attention(x_t)               # (S, V, V)
 
-        # 3. Chebyshev conv per step with attention-modulated operators.
-        steps = []
-        for t in range(self.seq_len):
-            step = x_t[:, :, :, t]                        # (S, V, 1)
-            steps.append(self.cheb(step, spatial_attention=s_att).relu())
-        spatial = stack(steps, axis=3)                    # (S, V, H, L)
+        # 3. Chebyshev conv with attention-modulated operators, all window
+        # steps in one batched matmul per order: (S, V, 1, L) -> (S, L, V, 1)
+        # and the (S, 1, V, V) operator broadcasts over L inside ChebConv —
+        # same arithmetic as the former per-step Python loop, minus L-1
+        # matmul dispatches and L redundant ``T_k * S_att`` products.
+        steps_in = x_t.transpose(0, 3, 1, 2)              # (S, L, V, 1)
+        spatial = self.cheb(steps_in, spatial_attention=s_att).relu()
+        spatial = spatial.transpose(0, 2, 3, 1)           # (S, V, H, L)
 
         # 4. temporal convolution over the window.
         conv_in = spatial.transpose(0, 2, 1, 3)           # (S, H, V, L)

@@ -81,6 +81,9 @@ class MTGNN(Forecaster):
             self.use_graph_learning = False
             self.graph_learner = None
             self._static_adjacency = np.asarray(initial_adjacency, dtype=np.float64)  # repro: noqa[REPRO005] — graph matrices are float64 constants
+        #: Static mode: memoized row-normalized (A, A^T) propagation pair,
+        #: rebuilt lazily after set_adjacency().  Learned mode never uses it.
+        self._static_props = None
 
         c = hidden_size
         self.start_conv = TemporalConv2d(1, c, 1, rng=rng)
@@ -139,22 +142,53 @@ class MTGNN(Forecaster):
                 self.graph_learner.emb2.copy_(e2)
         else:
             self._static_adjacency = adjacency
+            self._static_props = None
+
+    def _static_propagations(self) -> tuple[Tensor, Tensor]:
+        """Row-normalized ``(Â, Â^T)`` operators for the constant graph.
+
+        Computed once per graph through
+        :func:`repro.nn.graphcache.cached_row_normalized` — the same
+        arithmetic :meth:`MixHopPropagation._row_normalize` ran inside the
+        autodiff graph on every forward pass — and reused across epochs.
+        """
+        if self._static_props is None:
+            from ..nn.graphcache import cached_row_normalized
+
+            base = self._static_adjacency
+            self._static_props = (
+                Tensor(cached_row_normalized(base)),
+                Tensor(cached_row_normalized(base.T)),
+            )
+        return self._static_props
 
     # ------------------------------------------------------------------
-    def _graph_mix(self, x: Tensor, adjacency: Tensor, layer: int) -> Tensor:
+    def _graph_mix(self, x: Tensor, layer: int,
+                   adjacency: Tensor | None = None,
+                   propagations: tuple[Tensor, Tensor] | None = None) -> Tensor:
         """Mix-hop propagation in both edge directions on (S, C, V, L)."""
         s, c, v, l = x.shape
         # (S, C, V, L) -> (S, L, V, C): propagate over V for every position.
         per_node = x.transpose(0, 3, 2, 1)
-        fwd = self.graph_convs_fwd[layer](per_node, adjacency)
-        bwd = self.graph_convs_bwd[layer](per_node, adjacency.T)
+        if propagations is not None:
+            prop_fwd, prop_bwd = propagations
+            fwd = self.graph_convs_fwd[layer](per_node,
+                                              propagation=prop_fwd)
+            bwd = self.graph_convs_bwd[layer](per_node,
+                                              propagation=prop_bwd)
+        else:
+            fwd = self.graph_convs_fwd[layer](per_node, adjacency)
+            bwd = self.graph_convs_bwd[layer](per_node, adjacency.T)
         mixed = fwd + bwd
         return mixed.transpose(0, 3, 2, 1)
 
     def forward(self, inputs: Tensor) -> Tensor:
         self._check_input(inputs)
         samples = inputs.shape[0]
-        adjacency = self.current_adjacency()
+        if self.use_graph_learning:
+            adjacency, propagations = self.current_adjacency(), None
+        else:
+            adjacency, propagations = None, self._static_propagations()
         # (S, L, V) -> (S, 1, V, L)
         x = inputs.transpose(0, 2, 1).reshape(samples, 1, self.num_variables, self.seq_len)
         skip = self.skip_start(x)
@@ -165,7 +199,8 @@ class MTGNN(Forecaster):
             gate = self.gate_convs[layer](x).sigmoid()
             x = self.dropout(filt * gate)
             skip = skip + self.skip_convs[layer](x)
-            x = self._graph_mix(x, adjacency, layer)
+            x = self._graph_mix(x, layer, adjacency=adjacency,
+                                propagations=propagations)
             x = x + residual
             # Per-layer normalization over channels (canonical MTGNN).
             x = self.norms[layer](x.transpose(0, 2, 3, 1)).transpose(0, 3, 1, 2)

@@ -18,6 +18,7 @@ import numpy as np
 from ..autodiff import Tensor, normalize_adjacency
 from . import init
 from .container import ModuleList
+from .graphcache import cached_chebyshev_basis, cached_normalized_adjacency
 from .linear import Linear
 from .module import Module, Parameter
 
@@ -61,8 +62,14 @@ class GCNConv(Module):
         self.set_adjacency(adjacency)
 
     def set_adjacency(self, adjacency: np.ndarray) -> None:
-        """Swap in a new fixed graph (used when feeding learned graphs back)."""
-        self._propagation = Tensor(normalize_adjacency(adjacency))
+        """Swap in a new fixed graph (used when feeding learned graphs back).
+
+        The normalized propagation matrix is fetched from the process-wide
+        graph cache: within an experiment the same individual graph is
+        reused across models and sequence lengths, so the normalization
+        runs once per distinct adjacency instead of once per model.
+        """
+        self._propagation = Tensor(cached_normalized_adjacency(adjacency))
         self.num_nodes = self._propagation.shape[0]
 
     def forward(self, x: Tensor) -> Tensor:
@@ -96,24 +103,41 @@ class ChebConv(Module):
         self.set_adjacency(adjacency)
 
     def set_adjacency(self, adjacency: np.ndarray) -> None:
-        from ..autodiff.tensor import get_default_dtype
+        """Fetch the Chebyshev basis from the process-wide graph cache.
 
-        lap = scaled_laplacian(adjacency).astype(np.float64)  # repro: noqa[REPRO005] — Chebyshev recursion in full precision, cast to compute dtype below
-        n = lap.shape[0]
-        basis = [np.eye(n), lap]
-        for _ in range(2, self.order):
-            basis.append(2.0 * lap @ basis[-1] - basis[-2])
-        dtype = get_default_dtype()
-        self._basis = [Tensor(t.astype(dtype)) for t in basis[: self.order]]
-        self.num_nodes = n
+        The basis construction (one eigendecomposition + the polynomial
+        recursion) is a pure function of ``(adjacency, order, dtype)`` and
+        an experiment reuses one graph across models and sequence lengths,
+        so the eigendecomposition runs once per distinct graph.
+        """
+        basis = cached_chebyshev_basis(adjacency, self.order)
+        self._basis = [Tensor(t) for t in basis]
+        self.num_nodes = basis[0].shape[0]
 
     def forward(self, x: Tensor, spatial_attention: Tensor | None = None) -> Tensor:
+        """Apply the convolution; supports window-batched inputs.
+
+        ``x`` may carry extra leading axes beyond the attention matrix's
+        ``(B, N, N)`` — e.g. ``(B, steps, N, F)`` with one attention matrix
+        per sample.  The modulated operator is then broadcast over the
+        extra axes so all steps run through a single batched matmul per
+        Chebyshev order instead of a Python loop over steps (and ``T_k ⊙
+        S`` is computed once rather than once per step).
+        """
         if x.shape[-2] != self.num_nodes or x.shape[-1] != self.in_features:
             raise ValueError(
                 f"ChebConv expects (..., {self.num_nodes}, {self.in_features}), got {x.shape}")
+        attention = spatial_attention
+        if attention is not None and 2 < attention.ndim < x.ndim:
+            # Insert singleton axes between the sample axis and (N, N) so
+            # the operator broadcasts over x's extra axes (e.g. steps).
+            batch = attention.shape[0]
+            n = attention.shape[-1]
+            extra = x.ndim - attention.ndim
+            attention = attention.reshape(batch, *([1] * extra), n, n)
         out = None
         for t_k, linear in zip(self._basis, self.weights):
-            operator = t_k if spatial_attention is None else t_k * spatial_attention
+            operator = t_k if attention is None else t_k * attention
             term = linear(operator @ x)
             out = term if out is None else out + term
         return out
@@ -154,12 +178,29 @@ class MixHopPropagation(Module):
         degree = a.sum(axis=1, keepdims=True) + 1e-10
         return a / degree
 
-    def forward(self, x: Tensor, adjacency: Tensor | np.ndarray) -> Tensor:
-        if not isinstance(adjacency, Tensor):
-            from ..autodiff.tensor import get_default_dtype
+    def forward(self, x: Tensor, adjacency: Tensor | np.ndarray | None = None,
+                *, propagation: Tensor | None = None) -> Tensor:
+        """Propagate ``x`` over ``adjacency`` (normalized here) or over a
+        precomputed ``propagation`` operator.
 
-            adjacency = Tensor(np.asarray(adjacency, dtype=get_default_dtype()))
-        propagation = self._row_normalize(adjacency)
+        ``propagation`` skips the in-graph row normalization — callers with
+        a *constant* graph (MTGNN's static mode) precompute
+        ``(A + I) / rowsum`` once via
+        :func:`repro.nn.graphcache.cached_row_normalized`, which performs
+        the identical arithmetic, instead of re-deriving it every forward
+        pass of every epoch.  The learned-graph path keeps passing
+        ``adjacency`` so gradients flow through the normalization.
+        """
+        if propagation is None:
+            if adjacency is None:
+                raise ValueError(
+                    "MixHopPropagation needs adjacency= or propagation=")
+            if not isinstance(adjacency, Tensor):
+                from ..autodiff.tensor import get_default_dtype
+
+                adjacency = Tensor(
+                    np.asarray(adjacency, dtype=get_default_dtype()))
+            propagation = self._row_normalize(adjacency)
         hidden = x
         out = self.weights[0](x)
         for k in range(1, self.depth + 1):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 import numpy as np
@@ -14,11 +15,42 @@ __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates."""
+    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates.
+
+    Hyperparameters beyond ``lr`` are keyword-only (the unified optimizer
+    signature shared with :class:`~repro.optim.sgd.SGD`); passing them
+    positionally still works but emits a ``DeprecationWarning``.
+
+    ``fused=True`` switches :meth:`step` to a flat-buffer update: the
+    gradients of all parameters (grouped by dtype) are gathered into one
+    contiguous buffer, the Adam arithmetic runs *once* over that buffer
+    into preallocated scratch, and the per-parameter updates are views
+    into the result.  The moment states ``_m``/``_v`` become views into
+    the flat storage, so the per-step ufunc count drops from ~13 times
+    the parameter count to ~3 times plus a constant — the win the
+    profiler points at for this codebase's many-small-parameter models.
+    Every elementwise op matches the reference loop's order/association
+    (only IEEE-commutative swaps such as ``grad * (1 - beta1)`` for
+    ``(1 - beta1) * grad`` are applied), and elementwise arithmetic is
+    shape-blind, so the fused path is bit-identical to the reference
+    loop (asserted in ``tests/optim``).
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
-                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0):
+                 *args, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0,
+                 fused: bool = False):
+        if args:
+            if len(args) > 3:
+                raise TypeError(
+                    f"Adam() takes at most 3 positional hyperparameters "
+                    f"(betas, eps, weight_decay), got {len(args)}")
+            warnings.warn(
+                "positional Adam hyperparameters are deprecated; pass "
+                "betas=, eps=, weight_decay= as keywords",
+                DeprecationWarning, stacklevel=2)
+            betas, eps, weight_decay = (
+                tuple(args) + (betas, eps, weight_decay)[len(args):])
         super().__init__(parameters, lr)
         beta1, beta2 = betas
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
@@ -27,15 +59,23 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
+        self.fused = bool(fused)
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        #: Fused-path state: (pattern key, [group, ...]); built lazily at
+        #: the first fused step and rebuilt if the set of parameters that
+        #: actually carry gradients changes.
+        self._flat = None
 
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
         bias1 = 1.0 - self.beta1 ** t
         bias2 = 1.0 - self.beta2 ** t
+        if self.fused:
+            self._fused_step(bias1, bias2)
+            return
         with no_grad():
             for p, m, v in zip(self.parameters, self._m, self._v):
                 if p.grad is None:
@@ -50,3 +90,86 @@ class Adam(Optimizer):
                 m_hat = m / bias1
                 v_hat = v / bias2
                 p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _ensure_flat(self) -> list:
+        """(Re)build the flat update groups for the current grad pattern.
+
+        One group per dtype among the parameters that carry a gradient.
+        The per-parameter moment arrays in ``_m``/``_v`` are rebound to
+        views into the group's contiguous storage (carrying their current
+        values over), so state survives pattern changes and stays
+        inspectable per parameter.
+        """
+        pattern = tuple(p.grad is not None for p in self.parameters)
+        if self._flat is not None and self._flat[0] == pattern:
+            return self._flat[1]
+        by_dtype: dict = {}
+        for i, p in enumerate(self.parameters):
+            if p.grad is not None:
+                by_dtype.setdefault(p.data.dtype.str, []).append(i)
+        groups = []
+        for indices in by_dtype.values():
+            params = [self.parameters[i] for i in indices]
+            sizes = [p.data.size for p in params]
+            total = sum(sizes)
+            dtype = params[0].data.dtype
+            m_flat = np.empty(total, dtype=dtype)
+            v_flat = np.empty(total, dtype=dtype)
+            grad_flat = np.empty(total, dtype=dtype)
+            data_flat = np.empty(total, dtype=dtype)
+            a_flat = np.empty(total, dtype=dtype)
+            offset = 0
+            slots = []
+            for i, p, size in zip(indices, params, sizes):
+                view = slice(offset, offset + size)
+                shape = p.data.shape
+                np.copyto(m_flat[view].reshape(shape), self._m[i])
+                np.copyto(v_flat[view].reshape(shape), self._v[i])
+                self._m[i] = m_flat[view].reshape(shape)
+                self._v[i] = v_flat[view].reshape(shape)
+                # Persistent per-parameter views into the flat buffers, so
+                # the hot loop never re-slices or re-shapes.
+                slots.append((p, grad_flat[view].reshape(shape),
+                              data_flat[view].reshape(shape),
+                              a_flat[view].reshape(shape)))
+                offset += size
+            groups.append({"slots": slots, "m": m_flat, "v": v_flat,
+                           "grad": grad_flat, "data": data_flat,
+                           "a": a_flat, "b": np.empty(total, dtype=dtype)})
+        self._flat = (pattern, groups)
+        return groups
+
+    def _fused_step(self, bias1: float, bias2: float) -> None:
+        # Every ufunc line mirrors one op of the reference loop, applied
+        # once to the concatenation of all parameters; elementwise
+        # arithmetic is shape-blind and only bitwise-exact IEEE 754
+        # commutations are applied, so the update is bit-identical.
+        one_minus_beta1 = 1.0 - self.beta1
+        one_minus_beta2 = 1.0 - self.beta2
+        with no_grad():
+            for g in self._ensure_flat():
+                slots, m, v = g["slots"], g["m"], g["v"]
+                grad, a, b = g["grad"], g["a"], g["b"]
+                for p, grad_view, _, _ in slots:
+                    np.copyto(grad_view, p.grad)
+                if self.weight_decay:
+                    for p, _, data_view, _ in slots:
+                        np.copyto(data_view, p.data)
+                    np.multiply(g["data"], self.weight_decay, out=a)
+                    a += grad
+                    grad = a
+                m *= self.beta1
+                np.multiply(grad, one_minus_beta1, out=b)
+                m += b
+                np.multiply(grad, one_minus_beta2, out=b)
+                b *= grad
+                v *= self.beta2
+                v += b
+                np.divide(v, bias2, out=b)               # v_hat
+                np.sqrt(b, out=b)
+                b += self.eps
+                np.divide(m, bias1, out=a)               # m_hat (grad dead)
+                a *= self.lr
+                a /= b
+                for p, _, _, update_view in slots:
+                    p.data -= update_view

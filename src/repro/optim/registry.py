@@ -1,0 +1,50 @@
+"""Optimizer registry: construct any optimizer by name.
+
+Mirrors the callback registry
+(:data:`repro.training.callbacks.CALLBACK_REGISTRY`): a flat
+``name -> factory`` mapping, so ``TrainerConfig``/``ExperimentConfig`` can
+carry a picklable optimizer *name* (plus keyword arguments) into parallel
+cohort workers instead of a live object, and the CLI can expose
+``--optimizer {adam,sgd}`` without importing concrete classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .adam import Adam
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = ["OPTIMIZER_REGISTRY", "get_optimizer", "register_optimizer"]
+
+OPTIMIZER_REGISTRY: dict[str, Callable[..., Optimizer]] = {
+    "adam": Adam,
+    "sgd": SGD,
+}
+
+
+def get_optimizer(name: str, parameters, **kwargs) -> Optimizer:
+    """Build the optimizer registered under ``name``.
+
+    ``kwargs`` are forwarded to the factory — all registered optimizers
+    share the uniform signature ``(parameters, lr=..., *, <keyword-only
+    hyperparameters>)``.
+    """
+    try:
+        factory = OPTIMIZER_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; registered: "
+            f"{sorted(OPTIMIZER_REGISTRY)}") from None
+    return factory(parameters, **kwargs)
+
+
+def register_optimizer(name: str, factory: Callable[..., Optimizer], *,
+                       overwrite: bool = False) -> None:
+    """Add ``factory`` under ``name`` (refuses silent replacement)."""
+    if not overwrite and name in OPTIMIZER_REGISTRY:
+        raise ValueError(
+            f"optimizer {name!r} is already registered; pass "
+            f"overwrite=True to replace it")
+    OPTIMIZER_REGISTRY[name] = factory

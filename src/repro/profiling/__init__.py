@@ -1,0 +1,24 @@
+"""Op-level observability for the numpy training stack.
+
+``with profile() as prof`` patches the autodiff/NN/optimizer hot points and
+records per-op forward/backward wall-clock, call counts and array bytes;
+:class:`ProfileReport` aggregates them into per-op / per-module tables and
+exports Chrome ``trace_event`` JSON.  :class:`ProfilerCallback` (registry
+name ``'profiler'``) attaches the same machinery to any ``Trainer.fit``,
+including fits running in parallel cohort workers.
+"""
+
+from .callback import ProfilerCallback
+from .profiler import Profiler, active_profiler, profile
+from .report import OpStat, ProfileReport, chrome_trace, write_chrome_trace
+
+__all__ = [
+    "OpStat",
+    "ProfileReport",
+    "Profiler",
+    "ProfilerCallback",
+    "active_profiler",
+    "chrome_trace",
+    "profile",
+    "write_chrome_trace",
+]

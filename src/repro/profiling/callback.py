@@ -1,0 +1,67 @@
+"""Profiler-as-callback: attach op-level profiling to any ``Trainer.fit``.
+
+``ProfilerCallback`` is registered in the callback registry as
+``'profiler'``, so ``CallbackSpec.make("profiler")`` rides a
+``TrainerConfig`` into parallel cohort workers like every other callback.
+The finished :class:`~repro.profiling.report.ProfileReport` is stashed on
+``history.profile`` — plain picklable data, so it returns from worker
+processes inside each ``IndividualResult``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..training.callbacks import Callback
+from .profiler import Profiler
+
+__all__ = ["ProfilerCallback"]
+
+
+class ProfilerCallback(Callback):
+    """Profile every epoch of one fit; report lands on ``history.profile``.
+
+    The profiler is entered at ``on_fit_start`` and exited at
+    ``on_fit_end`` — which the engine dispatches from a ``finally`` block,
+    so the ``Tensor``/``Module`` patches are removed even when a fit
+    raises.
+
+    Parameters
+    ----------
+    trace:
+        Keep per-span events for Chrome-trace export (default on).
+    max_events:
+        Per-fit cap on retained trace events.
+    """
+
+    def __init__(self, trace: bool = True, max_events: int = 100_000):
+        self._trace = bool(trace)
+        self._max_events = int(max_events)
+        self._profiler: Profiler | None = None
+        self._epoch_started: float | None = None
+        self.report = None
+
+    def on_fit_start(self, ctx) -> None:
+        self._profiler = Profiler(trace=self._trace,
+                                  max_events=self._max_events)
+        self._profiler.__enter__()
+
+    def on_epoch_start(self, ctx) -> None:
+        self._epoch_started = perf_counter()
+
+    def on_epoch_end(self, ctx) -> None:
+        if self._profiler is None or self._epoch_started is None:
+            return
+        self._profiler.add_phase("epoch",
+                                 perf_counter() - self._epoch_started,
+                                 start=self._epoch_started)
+        self._epoch_started = None
+
+    def on_fit_end(self, ctx) -> None:
+        if self._profiler is None:
+            return
+        self._profiler.__exit__(None, None, None)
+        self.report = self._profiler.report(
+            label=type(ctx.model).__name__ if ctx.model is not None else None)
+        self._profiler = None
+        ctx.history.profile = self.report

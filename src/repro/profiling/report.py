@@ -1,0 +1,203 @@
+"""Aggregated profiling results: tables, merging, Chrome trace export.
+
+A :class:`ProfileReport` is plain data — frozen stat rows plus a flat event
+list — so it pickles cleanly and can ride a ``TrainingHistory`` back from a
+``ProcessPoolExecutor`` worker (the same route ``CallbackSpec`` results take
+in the parallel cohort engine).  Reports from many fits merge into one
+cohort-level view, and every report (or list of reports) can be exported as
+Chrome ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["OpStat", "ProfileReport", "chrome_trace", "write_chrome_trace"]
+
+
+@dataclass(frozen=True)
+class OpStat:
+    """Aggregated timing of one (kind, name, phase) span family.
+
+    ``self_seconds`` excludes time spent inside nested recorded spans (a
+    ``mean`` that internally calls ``sum`` and ``__truediv__`` is charged
+    only for its own glue), so self-times sum to attributed wall-clock
+    without double counting; ``total_seconds`` is inclusive.
+    """
+
+    kind: str            # "op" | "module" | "autodiff" | "optimizer"
+    name: str            # "__matmul__", "Linear", "backward", "Adam.step", ...
+    phase: str           # "forward" | "backward" | "optimizer"
+    count: int
+    self_seconds: float
+    total_seconds: float
+    nbytes: int          # bytes of the arrays produced (forward) / grads (backward)
+
+
+@dataclass
+class ProfileReport:
+    """Per-op / per-module profile of one (or several merged) fits."""
+
+    ops: list[OpStat] = field(default_factory=list)
+    #: phase name -> (count, seconds); "epoch" covers the measured epochs.
+    phases: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: flat trace events: (name, category, ts_us, dur_us), ts relative to
+    #: the profiler's start.
+    events: list[tuple[str, str, float, float]] = field(default_factory=list,
+                                                        repr=False)
+    dropped_events: int = 0
+    label: str | None = None
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def attributed_seconds(self) -> float:
+        """Wall-clock attributed to recorded spans (sum of self-times)."""
+        return sum(stat.self_seconds for stat in self.ops)
+
+    def measured_seconds(self) -> float:
+        """Wall-clock the profiler was accountable for (epoch phases)."""
+        epoch = self.phases.get("epoch")
+        if epoch is not None:
+            return epoch[1]
+        return sum(seconds for _, seconds in self.phases.values())
+
+    def coverage(self) -> float:
+        """Fraction of measured wall-clock attributed to named spans."""
+        measured = self.measured_seconds()
+        if measured <= 0.0:
+            return 1.0 if self.attributed_seconds() == 0.0 else 0.0
+        return min(1.0, self.attributed_seconds() / measured)
+
+    def per_op_table(self, phase: str | None = None) -> list[OpStat]:
+        """Tensor-op rows (kind ``"op"``), heaviest self-time first."""
+        rows = [stat for stat in self.ops if stat.kind == "op"
+                and (phase is None or stat.phase == phase)]
+        return sorted(rows, key=lambda stat: stat.self_seconds, reverse=True)
+
+    def per_module_table(self) -> list[OpStat]:
+        """Module rows (``Module.__call__`` spans), inclusive-time order."""
+        rows = [stat for stat in self.ops if stat.kind == "module"]
+        return sorted(rows, key=lambda stat: stat.total_seconds, reverse=True)
+
+    @classmethod
+    def merge(cls, reports: Sequence["ProfileReport"],
+              label: str | None = None) -> "ProfileReport":
+        """Sum many reports (e.g. one per fit) into a cohort-level one.
+
+        Events are *not* concatenated — each source report keeps its own
+        timeline; export them together with :func:`chrome_trace`.
+        """
+        stats: dict[tuple[str, str, str], list] = {}
+        phases: dict[str, list] = {}
+        dropped = 0
+        for report in reports:
+            dropped += report.dropped_events
+            for stat in report.ops:
+                key = (stat.kind, stat.name, stat.phase)
+                entry = stats.setdefault(key, [0, 0.0, 0.0, 0])
+                entry[0] += stat.count
+                entry[1] += stat.self_seconds
+                entry[2] += stat.total_seconds
+                entry[3] += stat.nbytes
+            for name, (count, seconds) in report.phases.items():
+                entry = phases.setdefault(name, [0, 0.0])
+                entry[0] += count
+                entry[1] += seconds
+        ops = [OpStat(kind, name, phase, count, self_s, total_s, nbytes)
+               for (kind, name, phase), (count, self_s, total_s, nbytes)
+               in stats.items()]
+        return cls(ops=ops,
+                   phases={name: (count, seconds)
+                           for name, (count, seconds) in phases.items()},
+                   dropped_events=dropped,
+                   label=label or f"merged[{len(reports)}]")
+
+    # ------------------------------------------------------------------
+    # Rendering / serialization
+    # ------------------------------------------------------------------
+    def render(self, top: int = 15) -> str:
+        """Human-readable per-op and per-module tables."""
+        measured = self.measured_seconds()
+        lines = [f"profile: {self.label or 'unnamed'}",
+                 f"  measured {measured * 1e3:.1f} ms over "
+                 f"{self.phases.get('epoch', (0, 0.0))[0]} epochs, "
+                 f"attributed {self.attributed_seconds() * 1e3:.1f} ms "
+                 f"(coverage {self.coverage() * 100.0:.1f}%)"]
+
+        def fmt(rows, title):
+            if not rows:
+                return
+            lines.append(f"  {title}")
+            lines.append(f"    {'name':<22s}{'phase':<10s}{'count':>9s}"
+                         f"{'self ms':>10s}{'total ms':>10s}{'MB':>9s}")
+            for stat in rows[:top]:
+                lines.append(
+                    f"    {stat.name:<22s}{stat.phase:<10s}{stat.count:>9d}"
+                    f"{stat.self_seconds * 1e3:>10.2f}"
+                    f"{stat.total_seconds * 1e3:>10.2f}"
+                    f"{stat.nbytes / 1e6:>9.1f}")
+
+        fmt(self.per_op_table(), "per-op (self-time order)")
+        fmt(self.per_module_table(), "per-module (inclusive order)")
+        other = sorted((stat for stat in self.ops
+                        if stat.kind not in ("op", "module")),
+                       key=lambda stat: stat.self_seconds, reverse=True)
+        fmt(other, "engine (backward walk, optimizer)")
+        if self.dropped_events:
+            lines.append(f"  ({self.dropped_events} trace events dropped — "
+                         f"raise max_events to keep them)")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-serializable summary (no per-event data)."""
+        return {
+            "label": self.label,
+            "measured_seconds": self.measured_seconds(),
+            "attributed_seconds": self.attributed_seconds(),
+            "coverage": self.coverage(),
+            "phases": {name: {"count": count, "seconds": seconds}
+                       for name, (count, seconds) in self.phases.items()},
+            "ops": [{"kind": stat.kind, "name": stat.name,
+                     "phase": stat.phase, "count": stat.count,
+                     "self_seconds": stat.self_seconds,
+                     "total_seconds": stat.total_seconds,
+                     "nbytes": stat.nbytes}
+                    for stat in sorted(self.ops,
+                                       key=lambda s: s.self_seconds,
+                                       reverse=True)],
+            "dropped_events": self.dropped_events,
+        }
+
+    def to_chrome_trace(self) -> dict:
+        """This report's events as a Chrome ``trace_event`` JSON object."""
+        return chrome_trace([self])
+
+
+def chrome_trace(reports: Iterable[ProfileReport]) -> dict:
+    """Combine reports into one Chrome trace; one ``pid`` lane per report.
+
+    Timestamps/durations are microseconds (the ``trace_event`` unit),
+    relative to each report's own profiler start.
+    """
+    events: list[dict] = []
+    for pid, report in enumerate(reports):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0,
+                       "args": {"name": report.label or f"fit-{pid}"}})
+        for name, category, ts_us, dur_us in report.events:
+            events.append({"name": name, "cat": category, "ph": "X",
+                           "ts": ts_us, "dur": dur_us, "pid": pid, "tid": 0})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, reports: Iterable[ProfileReport]) -> Path:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(list(reports)), handle)
+    return path

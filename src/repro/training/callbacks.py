@@ -314,6 +314,18 @@ class SanitizerCallback(Callback):
             self._anomaly = None
 
 
+def _profiler_callback(**kwargs) -> Callback:
+    """Build :class:`repro.profiling.ProfilerCallback`.
+
+    Imported lazily: the profiling package subclasses :class:`Callback`,
+    so a module-level import here would be circular.  A named module-level
+    function (not a lambda) keeps the registry entry picklable.
+    """
+    from ..profiling import ProfilerCallback
+
+    return ProfilerCallback(**kwargs)
+
+
 CALLBACK_REGISTRY: dict[str, Callable[..., Callback]] = {
     "grad-clip": GradClipCallback,
     "early-stopping": EarlyStopping,
@@ -321,4 +333,5 @@ CALLBACK_REGISTRY: dict[str, Callable[..., Callback]] = {
     "divergence-guard": DivergenceGuard,
     "epoch-timer": EpochTimer,
     "sanitizer": SanitizerCallback,
+    "profiler": _profiler_callback,
 }

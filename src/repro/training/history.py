@@ -37,6 +37,10 @@ class TrainingHistory:
     records: list[EpochRecord] = field(default_factory=list)
     #: Why training stopped early (callback stop request), or ``None``.
     stop_reason: str | None = None
+    #: :class:`~repro.profiling.report.ProfileReport` of this fit when a
+    #: ``'profiler'`` callback was installed, else ``None``.  Plain
+    #: picklable data, so it rides back from parallel cohort workers.
+    profile: object | None = None
 
     def record(self, loss: float, grad_norm: float | None = None,
                lr: float | None = None,

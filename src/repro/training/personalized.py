@@ -54,9 +54,8 @@ def _build_graph(individual: Individual, method: str, keep_fraction: float,
                  boundary: int, seed: int, graph_kwargs: dict) -> np.ndarray:
     """Construct the individual's graph from the training segment only."""
     train_values = individual.values[:boundary]
-    rng = np.random.default_rng(seed)
-    return build_adjacency(train_values, method, keep_fraction=keep_fraction,
-                           rng=rng, **graph_kwargs)
+    return build_adjacency(train_values, method, gdt=keep_fraction,
+                           seed=seed, **graph_kwargs)
 
 
 def run_individual(individual: Individual, model_name: str, seq_len: int,

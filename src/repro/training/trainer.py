@@ -14,23 +14,37 @@ reproduces the seed trainer's fixed-epoch loop bit-identically — grad
 clipping, the only behavior the seed loop hardcoded, is installed as an
 implicit :class:`~repro.training.callbacks.GradClipCallback` from
 ``TrainerConfig.grad_clip``.
+
+The optimizer and training loss are configured by registry *name*
+(``TrainerConfig.optimizer`` / ``TrainerConfig.loss``) so they stay
+picklable inside cohort cells; the defaults (``"adam"``, ``"mse"``)
+construct exactly what the seed loop hardcoded.
 """
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-from ..autodiff import Tensor, get_default_dtype, mse, no_grad
+from ..autodiff import Tensor, get_default_dtype, huber, mae, mse, no_grad
 from ..data.windows import WindowSet
 from ..models.base import Forecaster
-from ..optim import Adam
+from ..optim import OPTIMIZER_REGISTRY, get_optimizer
 from .callbacks import (Callback, CallbackSpec, GradClipCallback,
                         TrainingContext, build_callbacks)
 from .history import TrainingHistory
 
-__all__ = ["TrainerConfig", "Trainer"]
+__all__ = ["TrainerConfig", "Trainer", "LOSSES"]
+
+#: Training/evaluation losses addressable by name from a picklable config.
+LOSSES: dict[str, Callable] = {
+    "mse": mse,
+    "mae": mae,
+    "huber": huber,
+}
 
 
 @dataclass(frozen=True)
@@ -42,12 +56,21 @@ class TrainerConfig:
     they travel inside :class:`~repro.training.parallel.CohortCell` to
     worker processes); it is empty by default, keeping the paper-faithful
     fixed-epoch replication unchanged.
+
+    ``optimizer`` / ``optimizer_kwargs`` select the optimizer from
+    :data:`repro.optim.OPTIMIZER_REGISTRY` by name; ``loss`` selects the
+    training objective from :data:`LOSSES`.  ``optimizer_kwargs`` accepts
+    a mapping or sorted key/value pairs and is normalized to a tuple so
+    the config stays hashable and picklable.
     """
 
     epochs: int = 300
     learning_rate: float = 0.01
     grad_clip: float = 5.0
     weight_decay: float = 0.0
+    optimizer: str = "adam"
+    optimizer_kwargs: tuple = ()
+    loss: str = "mse"
     callbacks: tuple[CallbackSpec, ...] = ()
 
     def __post_init__(self):
@@ -57,6 +80,19 @@ class TrainerConfig:
             raise ValueError("learning_rate must be positive")
         if self.grad_clip is not None and self.grad_clip <= 0:
             raise ValueError("grad_clip must be positive or None")
+        if self.optimizer not in OPTIMIZER_REGISTRY:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; registered: "
+                f"{sorted(OPTIMIZER_REGISTRY)}")
+        kwargs = self.optimizer_kwargs
+        if isinstance(kwargs, dict):
+            kwargs = tuple(sorted(kwargs.items()))
+        else:
+            kwargs = tuple((str(key), value) for key, value in kwargs)
+        object.__setattr__(self, "optimizer_kwargs", kwargs)
+        if self.loss not in LOSSES:
+            raise ValueError(
+                f"unknown loss {self.loss!r}; registered: {sorted(LOSSES)}")
         object.__setattr__(self, "callbacks", tuple(self.callbacks))
         for spec in self.callbacks:
             if not isinstance(spec, CallbackSpec):
@@ -65,6 +101,50 @@ class TrainerConfig:
                     f"(picklable), got {type(spec).__name__}; pass live "
                     "Callback instances to Trainer.fit(callbacks=...) "
                     "instead")
+
+
+def _evaluate(model: Forecaster, windows: WindowSet) -> float:
+    """Test-set MSE over all variables and time points (paper eq. 1)."""
+    dtype = get_default_dtype()
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            prediction = model(Tensor(windows.inputs.astype(dtype))).data
+    finally:
+        model.train(was_training)
+    diff = prediction - windows.targets.astype(dtype)
+    return float(np.mean(diff.astype(np.float64) ** 2))
+
+
+def _evaluate_per_variable(model: Forecaster,
+                           windows: WindowSet) -> np.ndarray:
+    """Per-variable test MSE (paper section VII-C's open question)."""
+    from ..evaluation.per_variable import per_variable_mse
+
+    prediction = model.predict(windows.inputs)
+    return per_variable_mse(windows.targets, prediction)
+
+
+class _HybridMethod:
+    """Descriptor exposing both call styles of an evaluation method.
+
+    ``trainer.evaluate(model, windows)`` binds the config-aware instance
+    implementation; ``Trainer.evaluate(model, windows)`` — the seed repo's
+    staticmethod style, still used in docs and downstream code — resolves
+    to the legacy static function.  Both see identical arguments, so the
+    two styles can no longer drift apart silently.
+    """
+
+    def __init__(self, instance_func, static_func):
+        self._instance_func = instance_func
+        self._static_func = static_func
+        self.__doc__ = instance_func.__doc__
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self._static_func
+        return types.MethodType(self._instance_func, obj)
 
 
 class Trainer:
@@ -94,6 +174,13 @@ class Trainer:
         return [getattr(cb, name) for cb in stack
                 if getattr(type(cb), name) is not base]
 
+    def _make_optimizer(self, model: Forecaster):
+        """Build the configured optimizer through the registry."""
+        return get_optimizer(self.config.optimizer, model.parameters(),
+                             lr=self.config.learning_rate,
+                             weight_decay=self.config.weight_decay,
+                             **dict(self.config.optimizer_kwargs))
+
     def fit(self, model: Forecaster, windows: WindowSet,
             callbacks: list[Callback] | None = None) -> TrainingHistory:
         """Full-batch training; returns the per-epoch telemetry history.
@@ -105,8 +192,8 @@ class Trainer:
         dtype = get_default_dtype()
         inputs = Tensor(windows.inputs.astype(dtype))
         targets = windows.targets.astype(dtype)
-        optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
-                         weight_decay=self.config.weight_decay)
+        optimizer = self._make_optimizer(model)
+        loss_fn = LOSSES[self.config.loss]
         history = TrainingHistory()
         stack = self._assemble_callbacks(callbacks)
         ctx = TrainingContext(model=model, optimizer=optimizer,
@@ -126,7 +213,7 @@ class Trainer:
                 for hook in epoch_start:
                     hook(ctx)
                 optimizer.zero_grad()
-                loss = mse(model(inputs), targets)
+                loss = loss_fn(model(inputs), targets)
                 loss.backward()
                 ctx.loss = loss.item()
                 for hook in after_backward:
@@ -150,24 +237,35 @@ class Trainer:
         history.stop_reason = ctx.stop_reason
         return history
 
-    @staticmethod
-    def evaluate(model: Forecaster, windows: WindowSet) -> float:
-        """Test-set MSE over all variables and time points (paper eq. 1)."""
+    def _evaluate_instance(self, model: Forecaster,
+                           windows: WindowSet) -> float:
+        """Test error under this trainer's configured ``loss``.
+
+        With the default ``loss="mse"`` this delegates to the legacy
+        static implementation (float64 accumulation, paper eq. 1) and is
+        bit-identical to ``Trainer.evaluate(model, windows)``.
+        """
+        if self.config.loss == "mse":
+            return _evaluate(model, windows)
         dtype = get_default_dtype()
         was_training = model.training
         model.eval()
         try:
             with no_grad():
-                prediction = model(Tensor(windows.inputs.astype(dtype))).data
+                prediction = model(Tensor(windows.inputs.astype(dtype)))
+                value = LOSSES[self.config.loss](
+                    prediction, windows.targets.astype(dtype))
         finally:
             model.train(was_training)
-        diff = prediction - windows.targets.astype(dtype)
-        return float(np.mean(diff.astype(np.float64) ** 2))
+        return float(value.item())
 
-    @staticmethod
-    def evaluate_per_variable(model: Forecaster, windows: WindowSet) -> np.ndarray:
+    def _evaluate_per_variable_instance(self, model: Forecaster,
+                                        windows: WindowSet) -> np.ndarray:
         """Per-variable test MSE (paper section VII-C's open question)."""
-        from ..evaluation.per_variable import per_variable_mse
+        return _evaluate_per_variable(model, windows)
 
-        prediction = model.predict(windows.inputs)
-        return per_variable_mse(windows.targets, prediction)
+    #: Instance call honors ``TrainerConfig``; class-attribute access keeps
+    #: the seed repo's staticmethod form working unchanged.
+    evaluate = _HybridMethod(_evaluate_instance, _evaluate)
+    evaluate_per_variable = _HybridMethod(_evaluate_per_variable_instance,
+                                          _evaluate_per_variable)

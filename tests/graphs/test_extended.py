@@ -107,6 +107,6 @@ class TestDispatcherIntegration:
     @pytest.mark.parametrize("method", ["cosine", "partial_correlation",
                                         "mutual_information"])
     def test_build_adjacency_supports_extended(self, method):
-        a = build_adjacency(series(seed=9), method, keep_fraction=0.3)
+        a = build_adjacency(series(seed=9), method, gdt=0.3)
         assert a.shape == (5, 5)
         assert (a >= 0).all()

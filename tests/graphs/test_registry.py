@@ -1,0 +1,166 @@
+"""Tests for the unified graph-builder registry and deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graphs import (GRAPH_REGISTRY, build_adjacency, get_graph_builder,
+                          register_graph_method)
+from repro.graphs.adjacency import (EXTENDED_METHODS, GraphMethod,
+                                    STATIC_METHODS)
+from repro.graphs.random_graph import random_adjacency
+from repro.graphs.sparsify import sparsify
+
+ALL_METRICS = {**STATIC_METHODS, **EXTENDED_METHODS}
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(11)
+    return np.cumsum(rng.standard_normal((50, 6)), axis=0)
+
+
+class TestRegistryDispatch:
+    @pytest.mark.parametrize("method", sorted(ALL_METRICS))
+    def test_registry_matches_direct_metric(self, series, method):
+        """Registry builder == sparsify(metric(data)) for every metric."""
+        via_registry = get_graph_builder(method)(series, gdt=0.4, seed=0)
+        direct = sparsify(ALL_METRICS[method](series.astype(np.float64)), 0.4)
+        np.testing.assert_array_equal(via_registry, direct)
+
+    @pytest.mark.parametrize("method", sorted(ALL_METRICS))
+    def test_build_adjacency_front_end(self, series, method):
+        """build_adjacency routes through the same registry builder."""
+        front = build_adjacency(series, method, gdt=0.4)
+        via_registry = get_graph_builder(method)(series, gdt=0.4)
+        np.testing.assert_array_equal(front, via_registry)
+
+    def test_random_matches_direct_construction(self, series):
+        via_registry = get_graph_builder("random")(series, gdt=0.5, seed=9)
+        v = series.shape[1]
+        edges = max(1, int(round(0.5 * (v * (v - 1) // 2))))
+        direct = random_adjacency(v, edges, np.random.default_rng(9))
+        np.testing.assert_array_equal(via_registry, direct)
+
+    def test_random_requires_seed(self, series):
+        with pytest.raises(ValueError, match="seed"):
+            build_adjacency(series, "random", gdt=0.5)
+
+    def test_unknown_method(self, series):
+        with pytest.raises(ValueError, match="registered"):
+            build_adjacency(series, "laplacian-of-doom")
+        with pytest.raises(ValueError, match="registered"):
+            get_graph_builder("nope")
+
+    def test_method_kwargs_forwarded(self, series):
+        sparse_k = build_adjacency(series, "knn", gdt=1.0, k=2)
+        dense_k = build_adjacency(series, "knn", gdt=1.0, k=4)
+        assert sparse_k.sum() < dense_k.sum()
+
+    def test_every_graphmethod_name_registered(self):
+        """Every data-driven GraphMethod constant resolves by name."""
+        for name in (GraphMethod.EUCLIDEAN, GraphMethod.KNN, GraphMethod.DTW,
+                     GraphMethod.CORRELATION, GraphMethod.RANDOM,
+                     GraphMethod.COSINE, GraphMethod.PARTIAL_CORRELATION,
+                     GraphMethod.MUTUAL_INFORMATION):
+            assert callable(get_graph_builder(name))
+
+
+class TestRegisterGuard:
+    def test_duplicate_registration_refused(self):
+        def build(data, *, gdt=1.0, seed=None):
+            raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_graph_method("correlation", build)
+
+    def test_overwrite_roundtrip(self):
+        original = GRAPH_REGISTRY["correlation"]
+
+        def build(data, *, gdt=1.0, seed=None):
+            return np.zeros((2, 2))
+
+        try:
+            register_graph_method("correlation", build, overwrite=True)
+            assert get_graph_builder("correlation") is build
+        finally:
+            register_graph_method("correlation", original, overwrite=True)
+
+
+class TestDeprecationShims:
+    def _single_warning(self, recorded):
+        deprecations = [w for w in recorded
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1, \
+            f"expected exactly one DeprecationWarning, got {deprecations}"
+        return deprecations[0]
+
+    def test_keep_fraction_keyword_warns_and_matches(self, series):
+        new = build_adjacency(series, "correlation", gdt=0.3)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            old = build_adjacency(series, "correlation", keep_fraction=0.3)
+        warning = self._single_warning(recorded)
+        assert "keep_fraction" in str(warning.message)
+        np.testing.assert_array_equal(old, new)
+
+    def test_positional_form_warns_and_matches(self, series):
+        new = build_adjacency(series, "random", gdt=0.3, seed=5)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            old = build_adjacency(series, "random", 0.3,
+                                  np.random.default_rng(5))
+        warning = self._single_warning(recorded)
+        assert "positional" in str(warning.message)
+        np.testing.assert_array_equal(old, new)
+
+    def test_rng_keyword_warns_and_matches_seed(self, series):
+        """rng=default_rng(s) and seed=s build the identical random graph."""
+        new = build_adjacency(series, "random", gdt=0.5, seed=21)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            old = build_adjacency(series, "random", gdt=0.5,
+                                  rng=np.random.default_rng(21))
+        warning = self._single_warning(recorded)
+        assert "rng=" in str(warning.message)
+        np.testing.assert_array_equal(old, new)
+
+    def test_combined_deprecations_warn_once(self, series):
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            build_adjacency(series, "random", keep_fraction=0.5,
+                            rng=np.random.default_rng(3))
+        self._single_warning(recorded)
+
+    def test_gdt_and_keep_fraction_conflict(self, series):
+        with pytest.raises(TypeError, match="not both"):
+            build_adjacency(series, "correlation", gdt=0.3,
+                            keep_fraction=0.3)
+
+    def test_too_many_positionals(self, series):
+        with pytest.raises(TypeError, match="positional"):
+            build_adjacency(series, "random", 0.3,
+                            np.random.default_rng(0), "extra")
+
+    def test_new_form_is_warning_free(self, series):
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            build_adjacency(series, "correlation", gdt=0.3, seed=1)
+        assert not [w for w in recorded
+                    if issubclass(w.category, DeprecationWarning)]
+
+    @pytest.mark.parametrize("metric,legacy_kwarg", [
+        ("partial_correlation", {"shrinkage": 0.2}),
+        ("mutual_information", {"bins": 4}),
+    ])
+    def test_extended_positional_shim(self, series, metric, legacy_kwarg):
+        """Old positional extra on the raw metrics warns and still works."""
+        func = EXTENDED_METHODS[metric]
+        (value,) = legacy_kwarg.values()
+        new = func(series, **legacy_kwarg)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            old = func(series, value)
+        self._single_warning(recorded)
+        np.testing.assert_array_equal(old, new)

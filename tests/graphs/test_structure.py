@@ -204,7 +204,7 @@ class TestBuildAdjacency:
         x = np.random.default_rng(20).standard_normal((30, 6))
         for method in ["euclidean", "knn", "dtw", "correlation"]:
             kwargs = {"k": 2} if method == "knn" else {}
-            a = build_adjacency(x, method, keep_fraction=0.4, **kwargs)
+            a = build_adjacency(x, method, gdt=0.4, **kwargs)
             assert a.shape == (6, 6)
             assert (a >= 0).all()
             assert is_symmetric(a)
@@ -213,16 +213,13 @@ class TestBuildAdjacency:
         x = np.zeros((10, 4))
         with pytest.raises(ValueError):
             build_adjacency(x, "random")
-        a = build_adjacency(x, "random", keep_fraction=0.5,
-                            rng=np.random.default_rng(21))
+        a = build_adjacency(x, "random", gdt=0.5, seed=21)
         assert a.shape == (4, 4)
 
     def test_random_edge_count_scales_with_gdt(self):
         x = np.zeros((10, 8))
-        sparse = build_adjacency(x, "random", keep_fraction=0.2,
-                                 rng=np.random.default_rng(22))
-        dense = build_adjacency(x, "random", keep_fraction=1.0,
-                                rng=np.random.default_rng(22))
+        sparse = build_adjacency(x, "random", gdt=0.2, seed=22)
+        dense = build_adjacency(x, "random", gdt=1.0, seed=22)
         assert (np.triu(sparse, 1) > 0).sum() < (np.triu(dense, 1) > 0).sum()
 
     def test_unknown_method(self):

@@ -1,0 +1,77 @@
+"""Tests for the hybrid Trainer.evaluate API (instance + static forms)."""
+
+import numpy as np
+import pytest
+
+from repro.data.windows import make_windows
+from repro.models import create_model
+from repro.training import Trainer, TrainerConfig
+from repro.training.trainer import LOSSES, _evaluate
+
+
+@pytest.fixture
+def fitted():
+    rng = np.random.default_rng(0)
+    windows = make_windows(rng.standard_normal((50, 5)), 3)
+    model = create_model("lstm", 5, 3, seed=1)
+    trainer = Trainer(TrainerConfig(epochs=3))
+    trainer.fit(model, windows)
+    return trainer, model, windows
+
+
+class TestHybridEvaluate:
+    def test_static_form_still_works(self, fitted):
+        _, model, windows = fitted
+        value = Trainer.evaluate(model, windows)
+        assert isinstance(value, float) and np.isfinite(value)
+
+    def test_instance_form_matches_static_for_default_config(self, fitted):
+        trainer, model, windows = fitted
+        assert trainer.evaluate(model, windows) == \
+            Trainer.evaluate(model, windows)
+
+    def test_static_form_is_the_legacy_function(self):
+        assert Trainer.evaluate is _evaluate
+
+    def test_instance_honors_configured_loss(self, fitted):
+        _, model, windows = fitted
+        mae_trainer = Trainer(TrainerConfig(loss="mae"))
+        mae_value = mae_trainer.evaluate(model, windows)
+        mse_value = Trainer.evaluate(model, windows)
+        assert mae_value != mse_value
+        # cross-check against the registered loss on raw predictions.
+        prediction = model.predict(windows.inputs)
+        expected = float(np.mean(np.abs(prediction - windows.targets)))
+        assert mae_value == pytest.approx(expected, rel=1e-5)
+
+    def test_eval_mode_restored(self, fitted):
+        trainer, model, windows = fitted
+        model.train()
+        trainer.evaluate(model, windows)
+        assert model.training
+        model.eval()
+        trainer.evaluate(model, windows)
+        assert not model.training
+
+    def test_per_variable_both_forms(self, fitted):
+        trainer, model, windows = fitted
+        static = Trainer.evaluate_per_variable(model, windows)
+        instance = trainer.evaluate_per_variable(model, windows)
+        assert static.shape == (5,)
+        np.testing.assert_array_equal(static, instance)
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError, match="loss"):
+            TrainerConfig(loss="rmsle")
+
+    def test_losses_registry_contents(self):
+        assert set(LOSSES) == {"mse", "mae", "huber"}
+
+    def test_huber_loss_trains_and_evaluates(self):
+        rng = np.random.default_rng(2)
+        windows = make_windows(rng.standard_normal((40, 4)), 2)
+        model = create_model("lstm", 4, 2, seed=3)
+        trainer = Trainer(TrainerConfig(epochs=3, loss="huber"))
+        history = trainer.fit(model, windows)
+        assert np.isfinite(history.losses).all()
+        assert np.isfinite(trainer.evaluate(model, windows))

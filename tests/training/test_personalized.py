@@ -26,7 +26,7 @@ class TestRunIndividual:
         ind = mini_cohort[0]
         from repro.graphs import build_adjacency
 
-        graph = build_adjacency(ind.values, "correlation", keep_fraction=0.4)
+        graph = build_adjacency(ind.values, "correlation", gdt=0.4)
         result = run_individual(ind, "a3tgcn", 2, graph,
                                 trainer_config=FAST_TRAINER,
                                 model_config=FAST_MODEL, seed=1)
