@@ -12,6 +12,12 @@ Examples
     ema-gnn table2  --profile paper \\
             --jobs 8 --checkpoint t2.ckpt     # full-scale run: 8 workers,
                                               # resumable via the checkpoint
+    ema-gnn table2  --profile paper --jobs 8 \\
+            --retries 2 --cell-timeout 900 \\
+            --on-error collect                # fault-tolerant full run:
+                                              # retry flaky cells, kill hung
+                                              # ones, aggregate over the
+                                              # survivors (report n_failed)
     ema-gnn table2  --profile paper \\
             --early-stop 20 --lr-schedule plateau
                                               # sweep mode: per-fit early
@@ -53,6 +59,20 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return number
+
+
 def _optimizer_names() -> tuple[str, ...]:
     from .optim import OPTIMIZER_REGISTRY
 
@@ -91,7 +111,33 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(1 = serial; results are identical)")
             cmd.add_argument("--checkpoint", default=None, metavar="FILE",
                              help="journal completed cells here and resume "
-                                  "an interrupted run from it")
+                                  "an interrupted run from it (failed "
+                                  "cells are retried on resume)")
+            cmd.add_argument("--retries", type=_nonnegative_int, default=0,
+                             metavar="N",
+                             help="retry each failed cell up to N times "
+                                  "with exponential backoff (default: 0)")
+            cmd.add_argument("--cell-timeout", type=_positive_float,
+                             default=None, metavar="SECONDS",
+                             help="kill any cell running longer than this "
+                                  "and count the attempt as failed "
+                                  "(default: no timeout)")
+            cmd.add_argument("--on-error", choices=("raise", "skip",
+                                                    "collect"),
+                             default="raise",
+                             help="what to do with a cell that exhausts "
+                                  "its retries: abort the run (raise, "
+                                  "default), drop it (skip), or keep a "
+                                  "structured failure record and report "
+                                  "n_failed in the aggregate (collect)")
+            cmd.add_argument("--inject-faults", default=None,
+                             metavar="KIND[:EVERY[:TIMES]]",
+                             help="deterministic fault injection for "
+                                  "smoke-testing the fault-tolerance "
+                                  "layer: KIND is exception|hang|nan|"
+                                  "crash, EVERY selects every k-th cell "
+                                  "(default 2), TIMES fails only the "
+                                  "first t attempts (default: all)")
             cmd.add_argument("--early-stop", type=_positive_int,
                              default=None, metavar="PATIENCE",
                              help="stop each individual fit after PATIENCE "
@@ -238,8 +284,29 @@ def _progress(args):
     return report
 
 
+def _injector(spec: str | None):
+    """Parse ``--inject-faults KIND[:EVERY[:TIMES]]`` into a FaultInjector."""
+    if spec is None:
+        return None
+    from .training import inject_faults
+
+    parts = spec.split(":")
+    if len(parts) > 3:
+        raise SystemExit(f"error: bad --inject-faults spec {spec!r} "
+                         "(expected KIND[:EVERY[:TIMES]])")
+    try:
+        kind = parts[0]
+        every = int(parts[1]) if len(parts) > 1 else 2
+        times = int(parts[2]) if len(parts) > 2 else None
+        return inject_faults(kind, every=every, times=times)
+    except ValueError as error:
+        raise SystemExit(f"error: bad --inject-faults spec {spec!r}: {error}")
+
+
 def _parallel(args):
-    """Build the cohort scheduler config from ``--jobs``/``--checkpoint``."""
+    """Build the cohort scheduler config from the ``--jobs``/``--checkpoint``
+    and fault-tolerance (``--retries``/``--cell-timeout``/``--on-error``)
+    flags."""
     if not hasattr(args, "jobs"):
         return None
     cell_progress = None
@@ -252,7 +319,34 @@ def _parallel(args):
                   file=sys.stderr)
     return ParallelConfig(jobs=args.jobs,
                           checkpoint=getattr(args, "checkpoint", None),
-                          progress=cell_progress)
+                          progress=cell_progress,
+                          retries=getattr(args, "retries", 0),
+                          timeout=getattr(args, "cell_timeout", None),
+                          on_error=getattr(args, "on_error", "raise"),
+                          fault_injector=_injector(
+                              getattr(args, "inject_faults", None)))
+
+
+def _collect_failures(result) -> list:
+    """Pull every collected CellFailure off a runner result's raw cells."""
+    from .training import CellFailure
+
+    failures = []
+    for individual_results in getattr(result, "raw", {}).values():
+        failures.extend(item for item in individual_results
+                        if isinstance(item, CellFailure))
+    return failures
+
+
+def _report_failures(result) -> None:
+    """Summarize collected failures on stderr (collect mode only)."""
+    failures = _collect_failures(result)
+    if not failures:
+        return
+    print(f"\n{len(failures)} cell(s) failed and were excluded from the "
+          f"aggregates above (n_failed):", file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -291,6 +385,8 @@ def main(argv: list[str] | None = None) -> int:
                "table3": run_experiment_b,
                "fig3": run_experiment_c}
 
+    from .training import CohortExecutionError
+
     if args.command == "profile":
         runner = runners[args.target]
         result = runner(dataset, config, progress=_progress(args),
@@ -298,9 +394,18 @@ def main(argv: list[str] | None = None) -> int:
         return _emit_profile(result, args.out)
 
     runner = runners[args.command]
-    result = runner(dataset, config, progress=_progress(args),
-                    parallel=_parallel(args))
+    try:
+        result = runner(dataset, config, progress=_progress(args),
+                        parallel=_parallel(args))
+    except CohortExecutionError as error:
+        # on_error=raise (the default): a cell exhausted its retry budget
+        # and the run aborted.  --on-error skip/collect degrades instead.
+        print(f"error: {error}", file=sys.stderr)
+        if error.failure.traceback:
+            print(error.failure.traceback, file=sys.stderr)
+        return 1
     print(result.render())
+    _report_failures(result)
     if getattr(args, "out", None) and args.command in ("table2", "table3"):
         _export_table(result, args.command, args.out)
     if getattr(args, "profiler", False):

@@ -7,8 +7,10 @@ text tables matching the layout of Tables II and III.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
+from ..training.faults import CellFailure
 from ..training.personalized import IndividualResult
 from .metrics import CohortScore, cohort_score
 
@@ -16,8 +18,17 @@ __all__ = ["score_results", "format_table", "best_cells"]
 
 
 def score_results(results: Sequence[IndividualResult]) -> CohortScore:
-    """Aggregate one condition's individual results into a table cell."""
-    return cohort_score([r.test_mse for r in results])
+    """Aggregate one condition's individual results into a table cell.
+
+    Failed cells (:class:`~repro.training.faults.CellFailure` records
+    collected by the fault-tolerant scheduler) are excluded from the
+    mean/std and counted on ``CohortScore.n_failed``, so a partially
+    degraded cohort still renders instead of crashing the table.
+    """
+    survivors = [r.test_mse for r in results
+                 if not isinstance(r, CellFailure)]
+    n_failed = sum(isinstance(r, CellFailure) for r in results)
+    return cohort_score(survivors, n_failed=n_failed)
 
 
 def format_table(title: str, rows: Mapping[str, Mapping[str, CohortScore]],
@@ -29,7 +40,8 @@ def format_table(title: str, rows: Mapping[str, Mapping[str, CohortScore]],
     """
     col_best = {}
     for col in columns:
-        scores = [cells[col].mean for cells in rows.values() if col in cells]
+        scores = [cells[col].mean for cells in rows.values()
+                  if col in cells and math.isfinite(cells[col].mean)]
         col_best[col] = min(scores) if scores else None
     label_width = max([len(r) for r in rows] + [len("Model")]) + 2
     header = "Model".ljust(label_width) + "  ".join(c.center(14) for c in columns)
@@ -56,6 +68,8 @@ def best_cells(rows: Mapping[str, Mapping[str, CohortScore]]) -> dict[str, tuple
     out: dict[str, tuple[str, float]] = {}
     for label, cells in rows.items():
         for col, score in cells.items():
+            if not math.isfinite(score.mean):
+                continue  # all-failed cell: nothing to rank
             if col not in out or score.mean < out[col][1]:
                 out[col] = (label, score.mean)
     return out

@@ -46,28 +46,46 @@ def mse_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
 
 @dataclass(frozen=True)
 class CohortScore:
-    """Mean(std) of per-individual MSEs — one cell of the paper's tables."""
+    """Mean(std) of per-individual MSEs — one cell of the paper's tables.
+
+    ``n_failed`` counts individuals whose cell failed for good under the
+    fault-tolerant scheduler; they are excluded from ``mean``/``std``
+    but reported alongside so a degraded aggregate is never mistaken for
+    a complete one.
+    """
 
     mean: float
     std: float
     per_individual: tuple[float, ...]
+    n_failed: int = 0
 
     @property
     def count(self) -> int:
         return len(self.per_individual)
 
     def __str__(self) -> str:
-        return f"{self.mean:.3f}({self.std:.3f})"
+        text = f"{self.mean:.3f}({self.std:.3f})"
+        if self.n_failed:
+            text += f" [{self.n_failed} failed]"
+        return text
 
 
-def cohort_score(per_individual_mses) -> CohortScore:
-    """Aggregate per-individual MSEs the way the paper's tables do."""
+def cohort_score(per_individual_mses, n_failed: int = 0) -> CohortScore:
+    """Aggregate per-individual MSEs the way the paper's tables do.
+
+    ``n_failed`` individuals contributed no score (their cells failed);
+    the aggregate degrades gracefully to the survivors, down to an
+    all-NaN cell when nobody survived.
+    """
     values = tuple(float(v) for v in per_individual_mses)
     if not values:
+        if n_failed:
+            return CohortScore(mean=float("nan"), std=float("nan"),
+                               per_individual=(), n_failed=n_failed)
         raise ValueError("need at least one individual score")
     return CohortScore(mean=float(np.mean(values)),
                        std=float(np.std(values)),
-                       per_individual=values)
+                       per_individual=values, n_failed=n_failed)
 
 
 def percentage_change(before, after) -> float:

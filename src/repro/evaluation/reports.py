@@ -19,22 +19,29 @@ __all__ = ["write_table_csv", "write_table_markdown", "write_per_individual_csv"
 
 def write_table_csv(path, rows: Mapping[str, Mapping[str, CohortScore]],
                     columns: Sequence[str]) -> Path:
-    """Write a table of CohortScores as CSV (mean and std per cell)."""
+    """Write a table of CohortScores as CSV (mean, std, n, failed per cell).
+
+    ``{column}_failed`` counts individuals excluded from the cell's
+    mean/std because their training cell failed for good under the
+    fault-tolerant scheduler (0 for a fully healthy run).
+    """
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         header = ["model"]
         for column in columns:
-            header += [f"{column}_mean", f"{column}_std", f"{column}_n"]
+            header += [f"{column}_mean", f"{column}_std", f"{column}_n",
+                       f"{column}_failed"]
         writer.writerow(header)
         for label, cells in rows.items():
             record = [label]
             for column in columns:
                 cell = cells.get(column)
                 if cell is None:
-                    record += ["", "", ""]
+                    record += ["", "", "", ""]
                 else:
-                    record += [f"{cell.mean:.6f}", f"{cell.std:.6f}", cell.count]
+                    record += [f"{cell.mean:.6f}", f"{cell.std:.6f}",
+                               cell.count, cell.n_failed]
             writer.writerow(record)
     return path
 

@@ -21,12 +21,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data import EMADataset
-from ..evaluation import (BoxplotStats, boxplot_stats, cohort_score,
-                          percentage_change)
+from ..evaluation import (BoxplotStats, boxplot_stats, percentage_change,
+                          score_results)
 from ..evaluation.metrics import CohortScore
 from ..graphs import graph_correlation, prepare_learned_graph
 from ..graphs.adjacency import GraphMethod
-from ..training import GraphCache, IndividualResult, ParallelConfig, run_cohort
+from ..training import (CellFailure, GraphCache, IndividualResult,
+                        ParallelConfig, run_cohort)
 from .config import ExperimentConfig
 
 __all__ = ["ExperimentCResult", "ConditionDistribution", "run_experiment_c"]
@@ -84,8 +85,13 @@ class ExperimentCResult:
         return "\n".join(lines)
 
 
+def _survivors(results: list) -> list[IndividualResult]:
+    """Drop collected CellFailure records (fault-tolerant degraded runs)."""
+    return [r for r in results if not isinstance(r, CellFailure)]
+
+
 def _per_individual(results: list[IndividualResult]) -> dict[str, float]:
-    return {r.identifier: r.test_mse for r in results}
+    return {r.identifier: r.test_mse for r in _survivors(results)}
 
 
 def run_experiment_c(dataset: EMADataset, config: ExperimentConfig,
@@ -117,16 +123,20 @@ def run_experiment_c(dataset: EMADataset, config: ExperimentConfig,
             graph_kwargs=config.graph_kwargs(method),
             export_learned_graphs=True,
             parallel=parallel, graph_cache=graph_cache)
-        mtgnn_scores[label] = cohort_score([r.test_mse for r in results])
+        mtgnn_scores[label] = score_results(results)
         raw[("mtgnn", label)] = results
-        static_graphs[method] = {r.identifier: r.static_graph for r in results}
+        survivors = _survivors(results)
+        static_graphs[method] = {r.identifier: r.static_graph
+                                 for r in survivors}
+        # Individuals whose MTGNN cell failed export no learned graph;
+        # stage 2's learned condition simply does not cover them.
         learned_graphs[method] = {
             r.identifier: prepare_learned_graph(r.learned_graph,
                                                 match_edges_of=r.static_graph)
-            for r in results}
+            for r in survivors}
         sims = [graph_correlation(static_graphs[method][i], learned_graphs[method][i])
                 for i in static_graphs[method]]
-        similarity[label] = float(np.mean(sims))
+        similarity[label] = float(np.mean(sims)) if sims else float("nan")
 
     # --- stage 2: feed static + learned graphs into A3TGCN / ASTGCN ------
     for model in ("a3tgcn", "astgcn"):
@@ -150,17 +160,20 @@ def run_experiment_c(dataset: EMADataset, config: ExperimentConfig,
                 parallel=parallel, graph_cache=graph_cache)
             for name, results in ((label, static_results),
                                   (f"{label}_learned", learned_results)):
-                scores = [r.test_mse for r in results]
+                scores = [r.test_mse for r in _survivors(results)]
                 distributions.append(ConditionDistribution(
                     model=model, condition=name,
-                    score=cohort_score(scores),
+                    score=score_results(results),
                     box=boxplot_stats(scores),
                     per_individual=_per_individual(results)))
             before = _per_individual(static_results)
             after = _per_individual(learned_results)
-            ids = sorted(before)
+            # Pair on the individuals both conditions actually scored —
+            # a failed cell on either side drops out of the comparison.
+            ids = sorted(set(before) & set(after))
             pct[model][label] = percentage_change(
-                [before[i] for i in ids], [after[i] for i in ids])
+                [before[i] for i in ids], [after[i] for i in ids]) \
+                if ids else float("nan")
             raw[(model, label)] = static_results
             raw[(model, f"{label}_learned")] = learned_results
 

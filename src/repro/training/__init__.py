@@ -4,9 +4,12 @@ from .callbacks import (Callback, CallbackSpec, DivergenceGuard,
                         EarlyStopping, EpochTimer, GradClipCallback,
                         LRSchedulerCallback, SanitizerCallback,
                         TrainingContext, build_callbacks)
+from .faults import (CellFailure, CohortExecutionError, FaultInjector,
+                     InjectedFault, TrainingDivergedError, inject_faults,
+                     is_divergent, reseed_cell)
 from .history import EpochRecord, TrainingHistory
 from .parallel import (CohortCell, CohortCheckpoint, GraphCache,
-                       ParallelConfig, execute_cell, run_cells)
+                       ParallelConfig, execute_cell, run_attempt, run_cells)
 from .personalized import (IndividualResult, aggregate_repeats,
                            enumerate_cells, run_cohort, run_individual)
 from .seeding import derive_seed
@@ -16,7 +19,10 @@ __all__ = ["TrainingHistory", "EpochRecord", "IndividualResult",
            "run_cohort", "run_individual", "enumerate_cells",
            "aggregate_repeats", "derive_seed", "Trainer", "TrainerConfig",
            "CohortCell", "CohortCheckpoint", "GraphCache", "ParallelConfig",
-           "execute_cell", "run_cells", "Callback", "CallbackSpec",
+           "execute_cell", "run_attempt", "run_cells", "CellFailure",
+           "CohortExecutionError", "FaultInjector", "InjectedFault",
+           "TrainingDivergedError", "inject_faults", "is_divergent",
+           "reseed_cell", "Callback", "CallbackSpec",
            "TrainingContext", "build_callbacks", "EarlyStopping",
            "LRSchedulerCallback", "GradClipCallback", "DivergenceGuard",
            "EpochTimer", "SanitizerCallback"]

@@ -1,0 +1,222 @@
+"""Fault tolerance for cohort execution.
+
+The paper's headline numbers are cohort-level aggregates (MSE ``mean(std)``
+over N personalized models), so one diverging individual or one crashed
+worker must not destroy hours of surviving work.  This module provides the
+vocabulary the scheduler in :mod:`repro.training.parallel` builds on:
+
+* :class:`CellFailure` — the structured, picklable record a failed cell
+  turns into (error type, message, traceback, attempt count, elapsed
+  wall-clock).  Under ``on_error="collect"`` it takes the failed cell's
+  slot in the results list; checkpoints journal it so a resumed run
+  retries the cell instead of skipping it.
+* :class:`CohortExecutionError` — raised (carrying the failure) when a
+  cell exhausts its retry budget under ``on_error="raise"``.
+* :func:`reseed_cell` — deterministic seed bump for divergence retries.
+  A flaky-infra retry (exception, timeout, dead worker) re-runs the cell
+  with its *original* seeds, so a transient failure stays bit-identical
+  to an unfaulted run; a NaN-divergence retry can opt into a fresh —
+  but still deterministic — model seed instead, since replaying the
+  identical RNG stream would replay the identical divergence.
+* :func:`inject_faults` / :class:`FaultInjector` — the deterministic
+  fault-injection harness the test suite and the CI smoke job use to
+  exercise every failure path without flaky sleeps or real crashes.
+
+Nothing here imports the scheduler, so the layer stays cycle-free:
+``parallel`` imports ``faults``, never the reverse.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .seeding import derive_seed
+
+__all__ = ["CellFailure", "CohortExecutionError", "FaultInjector",
+           "InjectedFault", "TrainingDivergedError", "inject_faults",
+           "is_divergent", "reseed_cell", "describe_exception"]
+
+#: ``ParallelConfig.on_error`` modes: re-raise the first exhausted failure,
+#: drop failed cells from the results, or return them as CellFailure records.
+ON_ERROR_MODES = ("raise", "skip", "collect")
+
+#: Failure kinds a CellFailure can carry.
+FAILURE_KINDS = ("exception", "timeout", "divergence", "broken-pool")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by the deterministic fault-injection harness (tests/CI)."""
+
+
+class TrainingDivergedError(RuntimeError):
+    """A cell's scores came back non-finite (NaN/inf divergence)."""
+
+
+@dataclass
+class CellFailure:
+    """Structured record of one cell that exhausted its retry budget.
+
+    Picklable (plain strings and numbers only), so it rides checkpoint
+    journals and result lists the same way an
+    :class:`~repro.training.personalized.IndividualResult` does.  Under
+    ``on_error="collect"`` it occupies the failed cell's slot so result
+    lists keep their input-order alignment.
+    """
+
+    key: str
+    label: str
+    identifier: str
+    #: One of :data:`FAILURE_KINDS`.
+    kind: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    elapsed: float
+
+    def __str__(self) -> str:
+        return (f"{self.label}: {self.kind} after {self.attempts} "
+                f"attempt(s) ({self.error_type}: {self.message})")
+
+
+class CohortExecutionError(RuntimeError):
+    """A cell failed for good under ``on_error="raise"``.
+
+    Carries the structured :class:`CellFailure` on ``.failure``; the
+    original exception (when there was one) is chained as ``__cause__``.
+    """
+
+    def __init__(self, failure: CellFailure):
+        self.failure = failure
+        super().__init__(
+            f"cell {failure.label!r} failed after {failure.attempts} "
+            f"attempt(s) [{failure.kind}] — {failure.error_type}: "
+            f"{failure.message}")
+
+
+def describe_exception(error: BaseException) -> tuple[str, str, str]:
+    """``(type name, message, formatted traceback)`` for a CellFailure.
+
+    Exceptions surfaced by ``ProcessPoolExecutor`` carry the worker-side
+    traceback in their cause chain, which ``format_exception`` includes.
+    """
+    formatted = "".join(traceback.format_exception(
+        type(error), error, error.__traceback__))
+    return type(error).__name__, str(error), formatted
+
+
+def is_divergent(result) -> bool:
+    """True when any score on a cell result is non-finite (NaN/inf).
+
+    A diverged model returns normally from the worker — the failure only
+    shows in its numbers — so the scheduler checks every incoming result
+    and treats a non-finite one as a retryable ``"divergence"`` failure
+    rather than averaging NaN into a table.
+    """
+    scores = [getattr(result, "test_mse", None),
+              getattr(result, "train_mse", None)]
+    scores.extend(getattr(result, "repeat_scores", None) or ())
+    return any(score is not None and not np.isfinite(score)
+               for score in scores)
+
+
+def reseed_cell(cell, attempt: int):
+    """Deterministically bump a cell's model seeds for a divergence retry.
+
+    The new seeds derive from the cell key, the attempt number and the
+    original seed, so any retry of any cell is itself reproducible in
+    isolation.  Graphs are left untouched: they are data, and divergence
+    is a property of the training trajectory, not the adjacency.
+    """
+    seeds = tuple(
+        derive_seed(cell.key, "divergence-retry", attempt, position,
+                    base=seed)
+        for position, seed in enumerate(cell.seeds))
+    return replace(cell, seeds=seeds)
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic fault injection for tests, benchmarks and CI smoke.
+
+    Selects cells by enumeration index — every ``every``-th cell, i.e.
+    indices ``every-1, 2*every-1, ...`` — and makes their first ``times``
+    attempts fail (``times=None`` = every attempt, so retries cannot
+    mask the fault).  Kinds:
+
+    * ``"exception"`` — raise :class:`InjectedFault` before training;
+    * ``"hang"``      — sleep ``hang_seconds`` (exercises timeouts);
+    * ``"nan"``       — poison the finished result's scores with NaN
+      (exercises divergence detection and seed-bumped retries);
+    * ``"crash"``     — ``os._exit`` the worker process (exercises
+      ``BrokenProcessPool`` recovery).  In-process (serial) execution
+      raises :class:`InjectedFault` instead of killing the interpreter.
+
+    Frozen and picklable, so one injector configured in the parent
+    process behaves identically inside every worker.
+    """
+
+    kind: str
+    every: int = 2
+    times: int | None = None
+    hang_seconds: float = 3600.0
+
+    KINDS = ("exception", "hang", "nan", "crash")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {self.KINDS}")
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+    def selects(self, index: int) -> bool:
+        """Whether the cell at enumeration ``index`` is fault-targeted."""
+        return (index + 1) % self.every == 0
+
+    def active(self, index: int, attempt: int) -> bool:
+        """Whether this (cell, attempt) pair should be made to fail."""
+        return self.selects(index) and (
+            self.times is None or attempt <= self.times)
+
+    def before_execute(self, index: int, attempt: int) -> None:
+        """Injection point ahead of training (exception/hang/crash)."""
+        if not self.active(index, attempt):
+            return
+        if self.kind == "exception":
+            raise InjectedFault(
+                f"injected exception in cell {index} (attempt {attempt})")
+        if self.kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif self.kind == "crash":
+            if multiprocessing.parent_process() is None:
+                # Serial in-process execution: killing the interpreter
+                # would take the caller down with it — degrade to an
+                # exception so the harness stays usable at jobs=1.
+                raise InjectedFault(
+                    f"injected crash in cell {index} (attempt {attempt}; "
+                    f"in-process, raising instead of exiting)")
+            os._exit(13)
+
+    def after_execute(self, result, index: int, attempt: int):
+        """Injection point behind training (nan poisons the scores)."""
+        if self.active(index, attempt) and self.kind == "nan":
+            result.test_mse = float("nan")
+            if result.repeat_scores is not None:
+                result.repeat_scores = tuple(
+                    float("nan") for _ in result.repeat_scores)
+        return result
+
+
+def inject_faults(kind: str, every: int = 2, times: int | None = None,
+                  **kwargs) -> FaultInjector:
+    """Build a :class:`FaultInjector` (see its docstring for semantics)."""
+    return FaultInjector(kind=kind, every=every, times=times, **kwargs)

@@ -49,6 +49,18 @@ class IndividualResult:
     #: averaging.
     repeat_scores: tuple[float, ...] | None = None
 
+    @property
+    def diverged(self) -> bool:
+        """True when any recorded score is non-finite (NaN/inf).
+
+        The cohort scheduler treats a diverged result as a retryable
+        failure (see :mod:`repro.training.faults`) rather than averaging
+        NaN into a table.
+        """
+        from .faults import is_divergent
+
+        return is_divergent(self)
+
 
 def _build_graph(individual: Individual, method: str, keep_fraction: float,
                  boundary: int, seed: int, graph_kwargs: dict) -> np.ndarray:
@@ -170,6 +182,11 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
                 graph_kwargs))
 
         if graphs is not None:
+            if individual.identifier not in graphs:
+                # Pre-computed graph missing for this individual — e.g.
+                # the stage that produced it failed under graceful
+                # degradation.  The condition simply does not cover them.
+                continue
             candidate_graphs = (graphs[individual.identifier],)
         elif model_name != "lstm" and graph_method == GraphMethod.RANDOM:
             candidate_graphs = tuple(
@@ -230,14 +247,21 @@ def run_cohort(dataset: EMADataset, model_name: str, seq_len: int,
     graphs:
         Pre-computed per-individual adjacencies (keyed by identifier) —
         Experiment C's learned-graph condition.  When given,
-        ``graph_method`` is only a label.
+        ``graph_method`` is only a label, and individuals without an
+        entry are excluded from the condition (their producing stage may
+        have failed under graceful degradation).
     num_random_repeats:
         For ``graph_method="random"`` the paper averages over 5 randomly
         generated graphs; each repeat draws a fresh graph and model seed.
     parallel:
-        Scheduling knobs (worker count, checkpoint, progress callback);
-        ``None`` runs serially.  Per-cell seeding makes results
-        bit-identical across schedules.
+        Scheduling knobs (worker count, checkpoint, progress callback,
+        retry/timeout/on_error fault policy); ``None`` runs serially.
+        Per-cell seeding makes results bit-identical across schedules.
+        Under ``on_error="collect"`` the returned list holds a
+        :class:`~repro.training.faults.CellFailure` in each failed slot
+        (``"skip"`` drops the slot), and downstream aggregation
+        (:func:`repro.evaluation.score_results`) averages the survivors
+        while reporting ``n_failed``.
     graph_cache:
         Shared cache of constructed graphs; pass one cache across the
         conditions of an experiment to build each graph exactly once.

@@ -7,7 +7,8 @@ from hypothesis import strategies as st
 
 from repro.evaluation import (BoxplotStats, best_cells, boxplot_stats,
                               cohort_score, format_table, mse_score,
-                              percentage_change)
+                              percentage_change, score_results)
+from repro.training import CellFailure
 
 
 class TestMSEScore:
@@ -79,6 +80,55 @@ class TestCohortScore:
     def test_property_mean_within_range(self, values):
         s = cohort_score(values)
         assert min(values) - 1e-9 <= s.mean <= max(values) + 1e-9
+
+
+def make_failure(identifier="i01"):
+    return CellFailure(key=f"k-{identifier}", label=f"cell {identifier}",
+                       identifier=identifier, kind="exception",
+                       error_type="InjectedFault", message="boom",
+                       traceback="", attempts=2, elapsed=1.0)
+
+
+class _FakeResult:
+    def __init__(self, identifier, test_mse):
+        self.identifier = identifier
+        self.test_mse = test_mse
+
+
+class TestDegradedCohorts:
+    def test_n_failed_rendered_in_cell(self):
+        score = cohort_score([1.0, 1.2], n_failed=3)
+        assert str(score) == "1.100(0.100) [3 failed]"
+        assert str(cohort_score([1.0, 1.2])) == "1.100(0.100)"
+
+    def test_all_failed_yields_nan_cell(self):
+        score = cohort_score([], n_failed=4)
+        assert np.isnan(score.mean) and np.isnan(score.std)
+        assert score.count == 0 and score.n_failed == 4
+
+    def test_empty_without_failures_still_raises(self):
+        with pytest.raises(ValueError):
+            cohort_score([], n_failed=0)
+
+    def test_score_results_excludes_failures(self):
+        results = [_FakeResult("i01", 1.0), make_failure("i02"),
+                   _FakeResult("i03", 2.0)]
+        score = score_results(results)
+        assert score.mean == pytest.approx(1.5)
+        assert score.count == 2
+        assert score.n_failed == 1
+
+    def test_format_table_skips_nan_cells_for_best(self):
+        rows = {"LSTM": {"Seq1": cohort_score([1.0])},
+                "MTGNN": {"Seq1": cohort_score([], n_failed=2)}}
+        text = format_table("T", rows, ["Seq1"])
+        assert "1.000(0.000)*" in text
+        assert "[2 failed]" in text
+
+    def test_best_cells_skips_nan_cells(self):
+        rows = {"LSTM": {"Seq1": cohort_score([1.0])},
+                "MTGNN": {"Seq1": cohort_score([], n_failed=2)}}
+        assert best_cells(rows)["Seq1"][0] == "LSTM"
 
 
 class TestPercentageChange:

@@ -65,6 +65,18 @@ class TestReportWriters:
         assert float(lstm["Seq1_mean"]) == pytest.approx(1.1)
         assert lstm["Seq5_mean"] == ""  # missing cell
 
+    def test_csv_reports_failed_counts(self, rows, tmp_path):
+        rows["LSTM"]["Seq1"] = cohort_score([1.0, 1.2], n_failed=2)
+        path = write_table_csv(tmp_path / "t.csv", rows, ["Seq1", "Seq5"])
+        with path.open() as handle:
+            records = list(csv.DictReader(handle))
+        lstm = next(r for r in records if r["model"] == "LSTM")
+        assert lstm["Seq1_failed"] == "2"
+        assert lstm["Seq1_n"] == "2"
+        mtgnn = next(r for r in records if r["model"] == "MTGNN")
+        assert mtgnn["Seq1_failed"] == "0"
+        assert mtgnn["Seq5_failed"] == "0"
+
     def test_markdown_marks_best(self, rows, tmp_path):
         path = write_table_markdown(tmp_path / "t.md", "Table X", rows,
                                     ["Seq1", "Seq5"])

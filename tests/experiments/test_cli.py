@@ -110,10 +110,56 @@ class TestParser:
     def test_bad_arguments_exit_code_2(self):
         for argv in ([], ["table2", "--profile", "huge"],
                      ["no-such-command"], ["table2", "--jobs", "lots"],
-                     ["table2", "--jobs", "0"], ["fig3", "--jobs", "-2"]):
+                     ["table2", "--jobs", "0"], ["fig3", "--jobs", "-2"],
+                     ["table2", "--retries", "-1"],
+                     ["table2", "--cell-timeout", "0"],
+                     ["table3", "--on-error", "explode"]):
             with pytest.raises(SystemExit) as excinfo:
                 main(argv)
             assert excinfo.value.code == 2
+
+    def test_fault_flags_on_experiment_commands(self):
+        for command in ("table2", "table3", "fig3"):
+            args = build_parser().parse_args(
+                [command, "--retries", "2", "--cell-timeout", "900",
+                 "--on-error", "collect", "--inject-faults", "exception:3"])
+            assert args.retries == 2
+            assert args.cell_timeout == 900.0
+            assert args.on_error == "collect"
+            assert args.inject_faults == "exception:3"
+            defaults = build_parser().parse_args([command])
+            assert defaults.retries == 0
+            assert defaults.cell_timeout is None
+            assert defaults.on_error == "raise"
+            assert defaults.inject_faults is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cohort", "--retries", "1"])
+
+    def test_fault_flags_reach_parallel_config(self):
+        from repro.cli import _parallel
+
+        args = build_parser().parse_args(
+            ["table2", "--quiet", "--retries", "3", "--cell-timeout", "60",
+             "--on-error", "skip", "--inject-faults", "hang:4:1"])
+        config = _parallel(args)
+        assert config.retries == 3
+        assert config.timeout == 60.0
+        assert config.on_error == "skip"
+        assert config.fault_injector.kind == "hang"
+        assert config.fault_injector.every == 4
+        assert config.fault_injector.times == 1
+
+    def test_inject_faults_spec_parsing(self):
+        from repro.cli import _injector
+
+        assert _injector(None) is None
+        injector = _injector("exception")
+        assert injector.kind == "exception"
+        assert injector.every == 2 and injector.times is None
+        assert _injector("nan:5:2").times == 2
+        for spec in ("segfault", "exception:zero", "exception:2:1:9"):
+            with pytest.raises(SystemExit):
+                _injector(spec)
 
 
 class TestCommands:
@@ -210,6 +256,25 @@ class TestTableRuns:
         # Patience-1 early stopping on a 2-epoch micro profile can change
         # results but must never crash or alter the no-flags baseline.
         assert (plain_dir / "table2.csv").exists()
+
+    def test_collect_mode_survives_injected_faults(self, micro_tiny, capsys):
+        """Acceptance: injected failures degrade the run, not abort it."""
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--inject-faults", "exception:2",
+                     "--on-error", "collect"]) == 0
+        captured = capsys.readouterr()
+        # The degraded aggregates flag their excluded individuals...
+        assert "failed]" in captured.out
+        # ...and the failure summary lists the cells on stderr.
+        assert "cell(s) failed" in captured.err
+        assert "InjectedFault" in captured.err
+
+    def test_raise_mode_aborts_on_injected_fault(self, micro_tiny, capsys):
+        assert main(["table2", "--profile", "tiny", "--quiet",
+                     "--inject-faults", "exception:2"]) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "InjectedFault" in captured.err
 
     def test_sanitize_runs_end_to_end(self, micro_tiny, tmp_path, capsys):
         """--sanitize threads through the runner and changes no numbers."""
