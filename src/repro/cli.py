@@ -19,6 +19,10 @@ Examples
                                               # ones, aggregate over the
                                               # survivors (report n_failed)
     ema-gnn table2  --profile paper \\
+            --backend stacked --stack-size 32 # train whole cohorts as one
+                                              # parameter stack per cell
+                                              # (bit-identical, much faster)
+    ema-gnn table2  --profile paper \\
             --early-stop 20 --lr-schedule plateau
                                               # sweep mode: per-fit early
                                               # stopping + LR scheduling
@@ -109,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N",
                              help="worker processes for the cohort loop "
                                   "(1 = serial; results are identical)")
+            cmd.add_argument("--backend", choices=("process", "stacked"),
+                             default="process",
+                             help="cohort execution backend: per-individual "
+                                  "fits in worker processes (process, "
+                                  "default) or cross-individual parameter "
+                                  "stacks trained in one pass (stacked; "
+                                  "bit-identical results, ineligible cells "
+                                  "fall back to the process path)")
+            cmd.add_argument("--stack-size", type=_positive_int, default=32,
+                             metavar="K",
+                             help="with --backend stacked: max individuals "
+                                  "trained per parameter stack (default: 32)")
             cmd.add_argument("--checkpoint", default=None, metavar="FILE",
                              help="journal completed cells here and resume "
                                   "an interrupted run from it (failed "
@@ -324,7 +340,9 @@ def _parallel(args):
                           timeout=getattr(args, "cell_timeout", None),
                           on_error=getattr(args, "on_error", "raise"),
                           fault_injector=_injector(
-                              getattr(args, "inject_faults", None)))
+                              getattr(args, "inject_faults", None)),
+                          backend=getattr(args, "backend", "process"),
+                          stack_size=getattr(args, "stack_size", 32))
 
 
 def _collect_failures(result) -> list:

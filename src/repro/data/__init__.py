@@ -8,7 +8,7 @@ from .likert import LIKERT_MAX, LIKERT_MIN, quantize_to_likert, zscore_per_varia
 from .preprocessing import (PreprocessingPipeline, PreprocessingReport,
                             filter_compliance, normalize_dataset,
                             shared_high_variance_variables)
-from .splits import TrainTestWindows, split_windows
+from .splits import TrainTestWindows, split_boundary, split_windows
 from .synthesis import (DEFAULT_VARIABLE_NAMES, LOW_VARIANCE_NAMES,
                         SynthesisConfig, generate_cohort, generate_individual)
 from .windows import WindowSet, make_windows
@@ -20,7 +20,7 @@ __all__ = [
     "quantize_to_likert", "zscore_per_variable", "LIKERT_MIN", "LIKERT_MAX",
     "PreprocessingPipeline", "PreprocessingReport",
     "filter_compliance", "normalize_dataset", "shared_high_variance_variables",
-    "TrainTestWindows", "split_windows",
+    "TrainTestWindows", "split_boundary", "split_windows",
     "SynthesisConfig", "generate_cohort", "generate_individual",
     "DEFAULT_VARIABLE_NAMES", "LOW_VARIANCE_NAMES",
     "WindowSet", "make_windows",

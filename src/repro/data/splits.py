@@ -15,7 +15,7 @@ import numpy as np
 
 from .windows import WindowSet, make_windows
 
-__all__ = ["TrainTestWindows", "split_windows"]
+__all__ = ["TrainTestWindows", "split_boundary", "split_windows"]
 
 
 @dataclass(frozen=True)
@@ -25,14 +25,28 @@ class TrainTestWindows:
     boundary: int  # first time index belonging to the test region
 
 
+def split_boundary(num_time_points: int, train_fraction: float = 0.7) -> int:
+    """First time index of the test region for a recording of given length.
+
+    The single authority for the train/test cut: :func:`split_windows`
+    assigns windows by it, and graph construction
+    (:func:`repro.training.personalized.enumerate_cells`) truncates the
+    recording at it, so the "graphs see training data only" invariant
+    cannot drift between the two derivations.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if num_time_points < 1:
+        raise ValueError(f"num_time_points must be >= 1, got {num_time_points}")
+    return int(round(train_fraction * num_time_points))
+
+
 def split_windows(values: np.ndarray, seq_len: int,
                   train_fraction: float = 0.7) -> TrainTestWindows:
     """Window a recording and split by target index at ``train_fraction``."""
-    if not 0.0 < train_fraction < 1.0:
-        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
     values = np.asarray(values, dtype=np.float64)
     windows = make_windows(values, seq_len)
-    boundary = int(round(train_fraction * values.shape[0]))
+    boundary = split_boundary(values.shape[0], train_fraction)
     train_mask = windows.target_indices < boundary
     test_mask = ~train_mask
     if train_mask.sum() == 0 or test_mask.sum() == 0:

@@ -52,7 +52,10 @@ def run_experiment_a(dataset: EMADataset, config: ExperimentConfig,
     ``progress`` is an optional callable ``(label: str) -> None`` invoked
     before each condition (used by the CLI for live output); ``parallel``
     configures the cohort scheduler (workers, checkpoint, per-cell
-    progress).
+    progress, and the execution backend — ``backend="stacked"`` trains
+    the grid's LSTM/A3TGCN conditions as cross-individual parameter
+    stacks with bit-identical results; the remaining conditions fall
+    back to per-individual execution automatically).
     """
     config.apply_dtype()
     trainer_config = config.trainer_config()

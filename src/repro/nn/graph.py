@@ -21,9 +21,10 @@ from .container import ModuleList
 from .graphcache import cached_chebyshev_basis, cached_normalized_adjacency
 from .linear import Linear
 from .module import Module, Parameter
+from .stacked_ops import lane_affine, lane_propagate
 
 __all__ = ["GCNConv", "ChebConv", "MixHopPropagation", "GraphLearner",
-           "scaled_laplacian"]
+           "scaled_laplacian", "gcn_conv_stacked", "cheb_conv_stacked"]
 
 
 def scaled_laplacian(adjacency: np.ndarray) -> np.ndarray:
@@ -77,6 +78,39 @@ class GCNConv(Module):
             raise ValueError(
                 f"GCNConv expects (..., {self.num_nodes}, {self.in_features}), got {x.shape}")
         return self.linear(self._propagation @ x)
+
+
+def gcn_conv_stacked(propagation: np.ndarray, x: Tensor, weight: Tensor,
+                     bias: Tensor | None = None) -> Tensor:
+    """Per-lane :class:`GCNConv` forward over a ``(K, V, V)`` operator.
+
+    ``propagation`` is a stacked constant from
+    :func:`~repro.nn.graphcache.cached_stacked_adjacency`; ``weight`` /
+    ``bias`` are the stacked ``linear`` parameters.  Lane ``k`` computes
+    exactly ``linear(Â_k @ x_k)`` — the solo forward, op for op — so the
+    stacked cohort executor's A3TGCN cells match their per-individual
+    counterparts bitwise.
+    """
+    return lane_affine(lane_propagate(propagation, x), weight, bias)
+
+
+def cheb_conv_stacked(basis: tuple[np.ndarray, ...], x: Tensor,
+                      weights: list[Tensor],
+                      biases: list[Tensor | None]) -> Tensor:
+    """Per-lane :class:`ChebConv` forward over stacked Chebyshev bases.
+
+    ``basis`` comes from
+    :func:`~repro.nn.graphcache.cached_stacked_chebyshev`; ``weights`` /
+    ``biases`` are the stacked per-order ``Linear`` parameters (only
+    order 0 carries a bias, mirroring the solo layer).  Mirrors the
+    unattended solo forward: ``sum_k linear_k(T_k @ x)`` with the same
+    left-to-right term accumulation.
+    """
+    out = None
+    for t_k, weight, bias in zip(basis, weights, biases):
+        term = lane_affine(lane_propagate(t_k, x), weight, bias)
+        out = term if out is None else out + term
+    return out
 
 
 class ChebConv(Module):

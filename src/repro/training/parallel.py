@@ -276,6 +276,17 @@ class ParallelConfig:
     fault_injector:
         Deterministic :class:`~repro.training.faults.FaultInjector` used
         by tests, benchmarks and the CI smoke job.
+    backend:
+        ``"process"`` (default) runs every cell per-individual, serially
+        or across worker processes.  ``"stacked"`` first trains eligible
+        cells in cross-individual parameter stacks
+        (:mod:`repro.training.stacked`) — results are identical to the
+        per-individual path — and routes the rest (ineligible cells,
+        failed or divergent stacks) through the process backend with its
+        full retry/timeout semantics.  Fault injection bypasses stacking.
+    stack_size:
+        Maximum lanes (cell repeats) trained in one parameter stack under
+        ``backend="stacked"``.
     """
 
     jobs: int = 1
@@ -288,10 +299,18 @@ class ParallelConfig:
     retry_backoff: float = 0.5
     divergence_reseed: bool = True
     fault_injector: FaultInjector | None = None
+    backend: str = "process"
+    stack_size: int = 32
 
     def __post_init__(self):
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.backend not in ("process", "stacked"):
+            raise ValueError(f"backend must be 'process' or 'stacked', "
+                             f"got {self.backend!r}")
+        if self.stack_size < 1:
+            raise ValueError(
+                f"stack_size must be >= 1, got {self.stack_size}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
@@ -454,6 +473,15 @@ def run_cells(cells: list[CohortCell],
             return True
         fail(task, make_failure(task, kind, error, message))
         return False
+
+    if config.backend == "stacked" and pending:
+        # Stacked execution finishes eligible cells in cross-individual
+        # parameter stacks and returns the rest (ineligible, failed or
+        # divergent) to run below under the ordinary per-individual
+        # scheduler with its full retry semantics.
+        from .stacked import run_stacked
+
+        pending = run_stacked(cells, pending, config, finish)
 
     use_pool = bool(pending) and (
         (config.jobs > 1 and len(pending) > 1) or config.timeout is not None)

@@ -13,13 +13,14 @@ processes with identical results when ``parallel.jobs > 1``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..autodiff import get_default_dtype
 from ..data.containers import EMADataset, Individual
-from ..data.splits import split_windows
+from ..data.splits import split_boundary, split_windows
 from ..graphs import build_adjacency
 from ..graphs.adjacency import GraphMethod
 from ..models import ModelConfig, create_model
@@ -29,7 +30,7 @@ from .seeding import derive_seed
 from .trainer import Trainer, TrainerConfig
 
 __all__ = ["IndividualResult", "run_individual", "run_cohort",
-           "enumerate_cells", "aggregate_repeats"]
+           "enumerate_cells", "aggregate_repeats", "resolve_trainer_config"]
 
 
 @dataclass
@@ -92,16 +93,7 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
     split = split_windows(individual.values, seq_len, train_fraction)
     model = create_model(model_name, individual.num_variables, seq_len,
                          adjacency=graph, config=model_config, seed=seed)
-    if trainer_config is not None and model_name == "mtgnn" \
-            and trainer_config.weight_decay == 0.0:
-        # MTGNN's canonical training recipe (official implementation) uses
-        # weight decay 1e-4; the other models' references train without it.
-        from dataclasses import replace
-
-        trainer_config = replace(trainer_config, weight_decay=1e-4)
-    elif trainer_config is None and model_name == "mtgnn":
-        trainer_config = TrainerConfig(weight_decay=1e-4)
-    trainer = Trainer(trainer_config)
+    trainer = Trainer(resolve_trainer_config(model_name, trainer_config))
     history = trainer.fit(model, split.train, callbacks=callbacks)
     test_mse = trainer.evaluate(model, split.test)
     train_mse = trainer.evaluate(model, split.train)
@@ -120,6 +112,24 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
     )
 
 
+def resolve_trainer_config(model_name: str,
+                           trainer_config: TrainerConfig | None
+                           ) -> TrainerConfig:
+    """The effective trainer config for one model, with per-model defaults.
+
+    MTGNN's canonical training recipe (official implementation) uses
+    weight decay 1e-4; the other models' references train without it.
+    The 1e-4 is applied only when ``weight_decay`` is the ``None``
+    "unset" sentinel — an explicit ``0.0`` is an affirmative no-decay
+    choice (the ablation) and is respected.
+    """
+    if trainer_config is None:
+        trainer_config = TrainerConfig()
+    if model_name == "mtgnn" and trainer_config.weight_decay is None:
+        trainer_config = replace(trainer_config, weight_decay=1e-4)
+    return trainer_config
+
+
 def aggregate_repeats(repeats: list[IndividualResult]) -> IndividualResult:
     """Collapse one cell's repeats into one per-individual result.
 
@@ -131,9 +141,10 @@ def aggregate_repeats(repeats: list[IndividualResult]) -> IndividualResult:
         raise ValueError("need at least one repeat to aggregate")
     scores = tuple(r.test_mse for r in repeats)
     if len(repeats) == 1:
-        result = repeats[0]
-        result.repeat_scores = scores
-        return result
+        # A copy, not the caller's object: annotating repeats[0] in place
+        # would make the raw repeat result grow a repeat_scores field
+        # behind the caller's back.
+        return replace(repeats[0], repeat_scores=scores)
     return IndividualResult(
         identifier=repeats[0].identifier,
         model_name=repeats[0].model_name,
@@ -170,9 +181,20 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
     cache = graph_cache if graph_cache is not None else GraphCache()
     kwargs_key = tuple(sorted(graph_kwargs.items()))
     dtype = np.dtype(get_default_dtype()).name
+    # Digest of every cell-shaping input the legacy key fields miss
+    # (train fraction, graph kwargs, trainer/model config identity), so a
+    # checkpoint journal written under different settings can never serve
+    # a stale result for a colliding key.  Frozen-dataclass reprs are
+    # deterministic and cover every field, including nested CallbackSpecs.
+    config_digest = hashlib.sha1(repr(
+        (float(train_fraction), kwargs_key, trainer_config, model_config)
+    ).encode()).hexdigest()[:12]
     cells: list[CohortCell] = []
     for individual in dataset:
-        boundary = int(round(train_fraction * individual.num_time_points))
+        # Graph construction truncates the recording at the same boundary
+        # split_windows cuts the train/test windows at — one derivation,
+        # so "graphs see training data only" cannot drift off by one.
+        boundary = split_boundary(individual.num_time_points, train_fraction)
 
         def cached_graph(seed: int) -> np.ndarray:
             key = (individual.identifier, graph_method, keep_fraction,
@@ -207,7 +229,7 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
         key = "|".join(str(part) for part in (
             individual.identifier, model_name, graph_method, seq_len,
             keep_fraction, base_seed, len(candidate_graphs),
-            export_learned_graphs))
+            export_learned_graphs, config_digest))
         cells.append(CohortCell(
             key=key,
             label=f"{model_name}:{graph_method} seq{seq_len} "

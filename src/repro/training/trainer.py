@@ -62,12 +62,19 @@ class TrainerConfig:
     training objective from :data:`LOSSES`.  ``optimizer_kwargs`` accepts
     a mapping or sorted key/value pairs and is normalized to a tuple so
     the config stays hashable and picklable.
+
+    ``weight_decay=None`` (the default) means "unset": the optimizer runs
+    without decay, but model-specific defaults may fill it in —
+    :func:`~repro.training.personalized.run_individual` applies MTGNN's
+    canonical 1e-4 only when the field is ``None``.  An explicit ``0.0``
+    is an affirmative "no decay" and is never overridden (the no-decay
+    ablation).
     """
 
     epochs: int = 300
     learning_rate: float = 0.01
     grad_clip: float = 5.0
-    weight_decay: float = 0.0
+    weight_decay: float | None = None
     optimizer: str = "adam"
     optimizer_kwargs: tuple = ()
     loss: str = "mse"
@@ -80,6 +87,8 @@ class TrainerConfig:
             raise ValueError("learning_rate must be positive")
         if self.grad_clip is not None and self.grad_clip <= 0:
             raise ValueError("grad_clip must be positive or None")
+        if self.weight_decay is not None and self.weight_decay < 0:
+            raise ValueError("weight_decay must be >= 0 or None (unset)")
         if self.optimizer not in OPTIMIZER_REGISTRY:
             raise ValueError(
                 f"unknown optimizer {self.optimizer!r}; registered: "
@@ -175,10 +184,16 @@ class Trainer:
                 if getattr(type(cb), name) is not base]
 
     def _make_optimizer(self, model: Forecaster):
-        """Build the configured optimizer through the registry."""
+        """Build the configured optimizer through the registry.
+
+        ``weight_decay=None`` (the "unset" sentinel) reaches the optimizer
+        as a plain 0.0 — optimizers only know concrete decay strengths.
+        """
+        weight_decay = self.config.weight_decay
         return get_optimizer(self.config.optimizer, model.parameters(),
                              lr=self.config.learning_rate,
-                             weight_decay=self.config.weight_decay,
+                             weight_decay=0.0 if weight_decay is None
+                             else weight_decay,
                              **dict(self.config.optimizer_kwargs))
 
     def fit(self, model: Forecaster, windows: WindowSet,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import make_windows, split_windows
+from repro.data import make_windows, split_boundary, split_windows
 
 
 def ramp(t=20, v=3):
@@ -85,3 +85,22 @@ class TestSplitWindows:
         split = split_windows(ramp(t=40), seq_len=3)
         assert (np.diff(split.train.target_indices) > 0).all()
         assert (np.diff(split.test.target_indices) > 0).all()
+
+
+class TestSplitBoundary:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(10, 200), st.floats(0.3, 0.9))
+    def test_single_authority_for_the_cut(self, t, fraction):
+        # Regression: graph construction and window splitting used to
+        # round the 70% cut independently; any drift between the two
+        # leaks test data into the graphs.
+        split = split_windows(ramp(t=t), seq_len=2, train_fraction=fraction)
+        assert split.boundary == split_boundary(t, fraction)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            split_boundary(100, 0.0)
+        with pytest.raises(ValueError):
+            split_boundary(100, 1.0)
+        with pytest.raises(ValueError):
+            split_boundary(0)

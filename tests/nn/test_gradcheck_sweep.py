@@ -296,9 +296,75 @@ def test_layer_gradients(name):
     check_gradients(func, tensors, atol=1e-6, rtol=1e-5)
 
 
+def _lane_operator(rng, lanes, nodes):
+    """A well-conditioned constant (K, V, V) propagation stack."""
+    ops = rng.standard_normal((lanes, nodes, nodes)) / nodes
+    return ops + np.eye(nodes)
+
+
+@case("lane_matmul")
+def _lane_matmul():
+    rng = _rng()
+    x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+    wt = Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+    return lambda *ts: nn.lane_matmul(ts[0], ts[1]).sum(), [x, wt]
+
+
+@case("lane_bias_add")
+def _lane_bias_add():
+    rng = _rng()
+    x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+    bias = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+    return lambda *ts: nn.lane_bias_add(ts[0], ts[1]).sum(), [x, bias]
+
+
+@case("lane_affine")
+def _lane_affine():
+    rng = _rng()
+    x = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+    weight = Tensor(rng.standard_normal((2, 5, 4)), requires_grad=True)
+    bias = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+    return (lambda *ts: nn.lane_affine(ts[0], ts[1], ts[2]).sum(),
+            [x, weight, bias])
+
+
+@case("lane_propagate")
+def _lane_propagate():
+    rng = _rng()
+    operator = _lane_operator(rng, 2, 4)
+    x = Tensor(rng.standard_normal((2, 3, 4, 2)), requires_grad=True)
+    return lambda *ts: nn.lane_propagate(operator, ts[0]).sum(), [x]
+
+
+@case("gcn_conv_stacked")
+def _gcn_conv_stacked():
+    rng = _rng()
+    propagation = _lane_operator(rng, 2, 4)
+    x = Tensor(rng.standard_normal((2, 3, 4, 2)), requires_grad=True)
+    weight = Tensor(rng.standard_normal((2, 5, 2)), requires_grad=True)
+    bias = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+    return (lambda *ts: nn.gcn_conv_stacked(propagation, ts[0], ts[1],
+                                            ts[2]).sum(),
+            [x, weight, bias])
+
+
+@case("cheb_conv_stacked")
+def _cheb_conv_stacked():
+    rng = _rng()
+    basis = tuple(_lane_operator(rng, 2, 4) for _ in range(3))
+    x = Tensor(rng.standard_normal((2, 3, 4, 2)), requires_grad=True)
+    weights = [Tensor(rng.standard_normal((2, 5, 2)), requires_grad=True)
+               for _ in range(3)]
+    bias = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+    return (lambda *ts: nn.cheb_conv_stacked(
+                basis, ts[0], list(ts[1:4]),
+                [ts[4], None, None]).sum(),
+            [x, *weights, bias])
+
+
 #: Exports that are not layers (helpers, base classes, the init module).
 NON_LAYER_EXPORTS = {"Module", "Parameter", "init", "scaled_laplacian",
-                     "series_node_features"}
+                     "series_node_features", "BATCHED_LANES"}
 
 
 def test_sweep_covers_every_export():

@@ -153,6 +153,24 @@ class TestCheckpoint:
         assert all("[checkpoint]" in label for label in labels)
         assert [r.test_mse for r in first] == [r.test_mse for r in second]
 
+    def test_train_fraction_change_invalidates_checkpoint(self, mini_cohort,
+                                                          tmp_path):
+        # Regression: cell keys used to omit train_fraction (and the
+        # other config knobs behind the digest), so resuming after a
+        # split change silently replayed the stale records.
+        path = tmp_path / "cells.pkl"
+        original = mini_cells(mini_cohort)
+        run_cells(original, ParallelConfig(checkpoint=path))
+
+        changed = mini_cells(mini_cohort, train_fraction=0.8)
+        assert not {c.key for c in changed} & {c.key for c in original}
+        labels = []
+        run_cells(changed, ParallelConfig(
+            checkpoint=path,
+            progress=lambda done, total, label, eta: labels.append(label)))
+        assert labels
+        assert not any("[checkpoint]" in label for label in labels)
+
     def test_partial_checkpoint_completes_missing_cells(self, mini_cohort,
                                                         tmp_path):
         path = tmp_path / "cells.pkl"

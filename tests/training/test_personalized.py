@@ -120,3 +120,35 @@ class TestRunCohort:
                              trainer_config=FAST_TRAINER,
                              model_config=FAST_MODEL)
         assert all(np.isfinite(r.test_mse) for r in results)
+
+    def test_mtgnn_explicit_zero_weight_decay_respected(self):
+        # Regression: weight_decay=0.0 used to be conflated with "unset"
+        # and silently replaced by the canonical MTGNN 1e-4, making the
+        # no-decay ablation untrainable as specified.
+        from repro.training.personalized import resolve_trainer_config
+
+        explicit = resolve_trainer_config(
+            "mtgnn", TrainerConfig(weight_decay=0.0))
+        assert explicit.weight_decay == 0.0
+        default = resolve_trainer_config("mtgnn", TrainerConfig())
+        assert default.weight_decay == pytest.approx(1e-4)
+        other = resolve_trainer_config("lstm", TrainerConfig())
+        assert other.weight_decay is None
+
+    def test_aggregate_repeats_does_not_mutate_single_repeat(
+            self, mini_cohort):
+        # Regression: single-repeat aggregation used to annotate the
+        # caller's raw result in place instead of returning a copy.
+        from repro.graphs import build_adjacency
+        from repro.training.personalized import aggregate_repeats
+
+        ind = mini_cohort[0]
+        graph = build_adjacency(ind.values, "correlation", gdt=0.4)
+        raw = run_individual(ind, "a3tgcn", 2, graph,
+                             trainer_config=FAST_TRAINER,
+                             model_config=FAST_MODEL, seed=1)
+        before = raw.repeat_scores
+        aggregated = aggregate_repeats([raw])
+        assert aggregated is not raw
+        assert aggregated.repeat_scores == (raw.test_mse,)
+        assert raw.repeat_scores == before
