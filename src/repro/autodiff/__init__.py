@@ -9,13 +9,17 @@ Public surface:
 * :func:`check_gradients` — finite-difference verification
 * :func:`detect_anomaly` — opt-in sanitizer: record creating ops, raise on
   the first non-finite gradient in ``backward()``
+* :class:`EpochJIT` — trace-capture JIT: record one epoch, verify the
+  next, replay a fused compiled plan for the rest (bit-identical)
 """
 
 from .anomaly import detect_anomaly, is_anomaly_enabled
 from .tensor import (Tensor, as_tensor, concat, get_default_dtype,
-                     is_grad_enabled, no_grad, set_default_dtype, stack, where)
+                     is_grad_enabled, no_grad, set_default_dtype,
+                     set_trace_hook, stack, where)
 from .functional import huber, log_softmax, mae, mse, normalize_adjacency, softmax
 from .gradcheck import check_gradients, numerical_gradient
+from .trace import EpochJIT, TraceInvalid
 
 __all__ = [
     "Tensor",
@@ -37,4 +41,7 @@ __all__ = [
     "normalize_adjacency",
     "check_gradients",
     "numerical_gradient",
+    "set_trace_hook",
+    "EpochJIT",
+    "TraceInvalid",
 ]

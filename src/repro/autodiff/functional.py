@@ -14,20 +14,40 @@ from .tensor import Tensor, as_tensor
 __all__ = ["softmax", "log_softmax", "mse", "mae", "huber", "normalize_adjacency"]
 
 
+def _neg_max_shift(x: Tensor, axis: int) -> Tensor:
+    """Detached ``-max`` shift constant, annotated for trace replay.
+
+    The value is ``np.negative`` of the max — exactly what the previous
+    ``x - Tensor(max)`` spelling produced via ``__neg__`` on the detached
+    constant, so the downstream add sees bit-identical operands.  The
+    ``_trace_src`` annotation tells the trace JIT this constant is
+    *derived*: on each replay it is recomputed from the current value of
+    ``x``'s buffer instead of being treated as a frozen snapshot (the max
+    moves every epoch once ``x`` depends on trained parameters).
+    """
+
+    def recompute(array: np.ndarray) -> np.ndarray:
+        return -array.max(axis=axis, keepdims=True)
+
+    shift = Tensor(-x.data.max(axis=axis, keepdims=True))
+    shift._trace_src = ("derived", x, recompute)
+    return shift
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` with the standard max-shift for stability.
 
     The shift is treated as a constant (detached), which leaves the gradient
     exact because softmax is shift-invariant.
     """
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x + _neg_max_shift(x, axis)
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis`` (numerically stable)."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x + _neg_max_shift(x, axis)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

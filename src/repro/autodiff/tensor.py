@@ -147,6 +147,21 @@ def set_backward_op_hook(hook: Callable | None) -> None:
     _BACKWARD_OP_HOOK = hook
 
 
+_TRACE_HOOK: Callable[["Tensor"], None] | None = None
+
+
+def set_trace_hook(hook: Callable | None) -> None:
+    """Install a per-node creation probe on :meth:`Tensor._make`.
+
+    ``hook(out)`` is called for every graph-wired result tensor, in
+    creation (i.e. forward execution) order.  This is the capture seam of
+    the trace JIT (:mod:`repro.autodiff.trace`); the disabled path costs
+    one local ``is None`` test per wired node.  Pass ``None`` to uninstall.
+    """
+    global _TRACE_HOOK
+    _TRACE_HOOK = hook
+
+
 class Tensor:
     """A numpy array plus gradient bookkeeping.
 
@@ -160,8 +175,13 @@ class Tensor:
         :attr:`grad` for this tensor.
     """
 
+    #: ``_trace_src`` is deliberately *not* initialised in ``__init__`` —
+    #: it exists only on the few tensors the trace JIT annotates (dropout
+    #: masks, softmax shifts), and readers use ``getattr(t, "_trace_src",
+    #: None)``, so ordinary tensor creation pays nothing for the slot.
     __slots__ = ("_data", "grad", "requires_grad", "_backward", "_parents",
-                 "_grad_owned", "_version", "_parent_versions", "_trace")
+                 "_grad_owned", "_version", "_parent_versions", "_trace",
+                 "_trace_src")
 
     def __init__(self, data, requires_grad: bool = False):
         array = np.asarray(data)
@@ -274,6 +294,8 @@ class Tensor:
             out._parent_versions = tuple(p._version.value for p in parents)
             if is_anomaly_enabled():
                 out._trace = user_frame_summary()
+            if _TRACE_HOOK is not None:
+                _TRACE_HOOK(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -308,7 +330,15 @@ class Tensor:
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=self.data.dtype)
+            grad = np.asarray(grad)
+            if grad.dtype != self.data.dtype:
+                # A mismatched seed dtype is a caller bug, symmetric with
+                # the shape check below: silently downcasting a float64
+                # seed into a float32 graph (or promoting the reverse)
+                # would change every accumulated gradient without warning.
+                raise TypeError(
+                    f"gradient dtype {grad.dtype} does not match tensor "
+                    f"dtype {self.data.dtype}; cast the seed explicitly")
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
@@ -337,6 +367,11 @@ class Tensor:
                 "gradient")
         self._accumulate(grad)
         hook = _BACKWARD_OP_HOOK
+        # Hot-path memoization: op names are resolved through the
+        # per-definition-site cache with one local dict probe per node —
+        # the ``__qualname__`` parse in ``_op_name`` runs only on the
+        # first-ever encounter of each op's backward code object.
+        op_names = _OP_NAME_CACHE
         for node in reversed(topo):
             if node._backward is None or node.grad is None:
                 continue
@@ -355,10 +390,12 @@ class Tensor:
             if hook is None:
                 node._backward(node.grad)
             else:
+                backward_fn = node._backward
                 begin = _perf_counter()
-                node._backward(node.grad)
-                hook(_op_name(node._backward), begin, _perf_counter(),
-                     node.grad.nbytes)
+                backward_fn(node.grad)
+                name = op_names.get(backward_fn.__code__)
+                hook(name if name is not None else _op_name(backward_fn),
+                     begin, _perf_counter(), node.grad.nbytes)
             if anomaly:
                 for index, parent in enumerate(node._parents):
                     if parent.requires_grad and parent.grad is not None \
@@ -376,7 +413,11 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         if isinstance(other, (int, float)):
             # Python scalars: keep the array dtype and skip a graph node.
-            def backward_scalar(grad: np.ndarray) -> None:
+            # The keyword-only default pins the scalar operand onto the
+            # closure object (``__kwdefaults__``) where the trace JIT can
+            # recover it; the backward math itself never reads it.
+            def backward_scalar(grad: np.ndarray, *,
+                                _scalar: float = other) -> None:
                 self._accumulate(grad)
 
             return Tensor._make(self.data + other, (self,), backward_scalar)

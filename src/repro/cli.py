@@ -22,6 +22,10 @@ Examples
             --backend stacked --stack-size 32 # train whole cohorts as one
                                               # parameter stack per cell
                                               # (bit-identical, much faster)
+    ema-gnn table2  --profile paper --jit     # trace-capture JIT: record
+                                              # epoch 1, verify epoch 2,
+                                              # replay a fused plan for the
+                                              # rest (bit-identical)
     ema-gnn table2  --profile paper \\
             --early-stop 20 --lr-schedule plateau
                                               # sweep mode: per-fit early
@@ -174,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
                              default=None,
                              help="optimizer registry name for every fit "
                                   "(default: adam, the paper's choice)")
+            cmd.add_argument("--jit", action="store_true",
+                             help="trace-capture JIT: record each fit's "
+                                  "first epoch, verify the second, replay "
+                                  "a fused plan for the rest (bit-"
+                                  "identical; unstable graphs fall back "
+                                  "to the eager loop automatically)")
             cmd.add_argument("--profiler", action="store_true",
                              help="attach the op-level profiler to every "
                                   "fit and print the aggregated hot-op "
@@ -196,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="suppress progress lines")
     prof.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                       help="worker processes for the cohort loop")
+    prof.add_argument("--jit", action="store_true",
+                      help="profile the trace-replay epoch loop instead of "
+                           "the eager one")
     prof.add_argument("--out", default="profile", metavar="DIR",
                       help="directory for trace.json + profile.json "
                            "(default: ./profile)")
@@ -247,6 +260,8 @@ def _config(args):
         config = replace(config, optimizer=args.optimizer)
     if getattr(args, "profiler", False) or args.command == "profile":
         config = replace(config, profile=True)
+    if getattr(args, "jit", False):
+        config = replace(config, jit=True)
     return config
 
 

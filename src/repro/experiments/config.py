@@ -72,6 +72,12 @@ class ExperimentConfig:
     #: each :class:`~repro.training.history.TrainingHistory` then carries a
     #: :class:`~repro.profiling.ProfileReport` (CLI ``--profiler``).
     profile: bool = False
+    #: Trace-capture JIT (:class:`repro.autodiff.EpochJIT`): record the
+    #: first epoch's op tape, verify the second is structurally identical,
+    #: replay a fused plan for the rest.  Bit-identical to the eager loop;
+    #: graphs that the tracer cannot prove stable fall back to eager
+    #: automatically (CLI ``--jit``).
+    jit: bool = False
     model: ModelConfig = field(default_factory=ModelConfig)
 
     def trainer_config(self) -> TrainerConfig:
@@ -88,7 +94,7 @@ class ExperimentConfig:
         if self.profile:
             callbacks.append(CallbackSpec.make("profiler"))
         return TrainerConfig(epochs=self.epochs, optimizer=self.optimizer,
-                             callbacks=tuple(callbacks))
+                             jit=self.jit, callbacks=tuple(callbacks))
 
     def graph_kwargs(self, method: str) -> dict:
         if method == "knn":

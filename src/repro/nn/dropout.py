@@ -7,6 +7,8 @@ explicit generator so runs are reproducible.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from ..autodiff import Tensor
@@ -25,12 +27,25 @@ class Dropout(Module):
         self.p = p
         self.rng = rng if rng is not None else np.random.default_rng()
 
+    def _draw_mask(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """One inverted-dropout mask, advancing this layer's RNG stream.
+
+        Factored out so the trace JIT can redraw masks during replay from
+        the *same* generator the eager forward would have used — a replayed
+        epoch consumes exactly the random numbers its eager twin would.
+        """
+        keep = 1.0 - self.p
+        return ((self.rng.random(shape) < keep) / keep).astype(dtype)
+
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
-        keep = 1.0 - self.p
-        mask = ((self.rng.random(x.shape) < keep) / keep).astype(x.data.dtype)
-        return x * Tensor(mask)
+        mask = Tensor(self._draw_mask(x.shape, x.data.dtype))
+        # Trace annotation: the mask is *volatile* data, not structure —
+        # replaying the recorded epoch must redraw it, never reuse it.
+        mask._trace_src = ("volatile",
+                           partial(self._draw_mask, x.shape, x.data.dtype))
+        return x * mask
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"

@@ -182,6 +182,31 @@ class Profiler:
             stat[3] += nbytes
         self._push_event(name, f"{kind}.{phase}", start, duration)
 
+    def _add_span(self, kind: str, name: str, phase: str, start: float,
+                  seconds: float, nbytes: int) -> None:
+        """Record a pre-timed flat span (no nesting).
+
+        Used by the trace-replay plan, which times its calls with one
+        ``perf_counter`` read per call boundary and charges each gap —
+        including the profiler's own bookkeeping for the previous span —
+        to the op that follows it.  Replayed ops are raw numpy calls a
+        few microseconds long, so per-span ``_begin``/``_end`` pairs
+        would leave their own overhead unattributed and sink the
+        coverage metric the replay loop is asserted against.
+        """
+        if self._stack:
+            self._stack[-1] += seconds
+        key = (kind, name, phase)
+        stat = self._stats.get(key)
+        if stat is None:
+            self._stats[key] = [1, seconds, seconds, nbytes]
+        else:
+            stat[0] += 1
+            stat[1] += seconds
+            stat[2] += seconds
+            stat[3] += nbytes
+        self._push_event(name, f"{kind}.{phase}", start, seconds)
+
     def _record_backward_op(self, name: str, start: float, end: float,
                             nbytes: int) -> None:
         """Per-node probe installed via ``set_backward_op_hook``.

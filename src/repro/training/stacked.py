@@ -48,6 +48,7 @@ failure handling is identical to the process backend.
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -304,7 +305,7 @@ def _clip_lane_grads(parameters: list, active: np.ndarray,
 def _forward_a3tgcn(params: "OrderedDict[str, Parameter]",
                     propagation: np.ndarray, inputs: np.ndarray,
                     hidden_size: int, seq_len: int,
-                    dropout_masks: np.ndarray | None) -> Tensor:
+                    dropout_masks: Tensor | None) -> Tensor:
     """Stacked A3TGCN forward: ``(K, S, L, V) -> (K, S, V)``.
 
     Lane ``k`` replays :meth:`repro.models.a3tgcn.A3TGCN.forward` (and the
@@ -344,14 +345,14 @@ def _forward_a3tgcn(params: "OrderedDict[str, Parameter]",
             lanes, 1, seq_len, 1, 1)
         context = (sequence * weights).sum(axis=2)
     if dropout_masks is not None:
-        context = context * Tensor(dropout_masks)
+        context = context * dropout_masks
     out = lane_affine(context, params["head.weight"], params["head.bias"])
     return out.reshape(lanes, samples, nodes)
 
 
 def _forward_lstm(params: "OrderedDict[str, Parameter]", inputs: np.ndarray,
                   hidden_size: int, seq_len: int, num_layers: int,
-                  dropout_masks: np.ndarray | None) -> Tensor:
+                  dropout_masks: Tensor | None) -> Tensor:
     """Stacked LSTM forward: ``(K, S, L, V) -> (K, S, V)``.
 
     Lane ``k`` replays :class:`repro.models.lstm.LSTMForecaster` — the
@@ -382,7 +383,7 @@ def _forward_lstm(params: "OrderedDict[str, Parameter]", inputs: np.ndarray,
         layer_input = outputs
         hidden = h
     if dropout_masks is not None:
-        hidden = hidden * Tensor(dropout_masks)
+        hidden = hidden * dropout_masks
     return lane_affine(hidden, params["head.weight"], params["head.bias"])
 
 
@@ -450,7 +451,13 @@ def _execute_stack(lanes: list[_Lane],
     targets = np.stack([s.train.targets.astype(dtype) for s in splits])
 
     def forward() -> Tensor:
-        masks = draw_dropout_masks()
+        drawn = draw_dropout_masks()
+        masks = None
+        if drawn is not None:
+            masks = Tensor(drawn)
+            # Replay refills this buffer from the provider each epoch, so
+            # each lane's solo RNG stream advances exactly as in eager mode.
+            masks._trace_src = ("volatile", draw_dropout_masks)
         if model_name == "a3tgcn":
             return _forward_a3tgcn(params, propagation, inputs, hidden_size,
                                    seq_len, masks)
@@ -487,18 +494,48 @@ def _execute_stack(lanes: list[_Lane],
     grad_clip = resolved.grad_clip
     learning_rate = resolved.learning_rate
 
+    jit = None
+    clip_holder: dict = {}
+    if resolved.jit:
+        from ..autodiff.trace import EpochJIT
+
+        def _tail_clip() -> None:
+            clip_holder["norms"] = (
+                _clip_lane_grads(param_list, active, grad_clip)
+                if grad_clip is not None else None)
+
+        jit = EpochJIT(tail=[_tail_clip,
+                             lambda: optimizer.step(active=active)])
+    # ``where`` only replays a lane mask whose storage it saw during
+    # capture, so the condition must be ONE array refreshed in place each
+    # epoch — a fresh ``active.copy()`` per epoch would kill the trace.
+    cond = active.copy()
+
     for epoch in range(resolved.epochs):
-        optimizer.zero_grad()
-        lane_loss = _lane_losses(forward(), targets, loss_name)
-        masked = where(active.copy(), lane_loss,
-                       Tensor(np.zeros(num_lanes,
-                                       dtype=lane_loss.data.dtype)))
-        masked.sum().backward()
-        loss_values = [float(lane_loss.data[k]) for k in range(num_lanes)]
-        norms = None
-        if grad_clip is not None:
-            norms = _clip_lane_grads(param_list, active, grad_clip)
-        optimizer.step(active=active)
+        np.copyto(cond, active)
+        if jit is not None and jit.replay():
+            lane_vals = jit.value("lane_loss")
+            loss_values = [float(lane_vals[k]) for k in range(num_lanes)]
+            norms = clip_holder["norms"]
+        else:
+            optimizer.zero_grad()
+            capture = jit.capture() if jit is not None \
+                else contextlib.nullcontext()
+            with capture:
+                lane_loss = _lane_losses(forward(), targets, loss_name)
+                masked = where(cond, lane_loss,
+                               Tensor(np.zeros(num_lanes,
+                                               dtype=lane_loss.data.dtype)))
+                total = masked.sum()
+                total.backward()
+            if jit is not None:
+                jit.seal(total, watch={"lane_loss": lane_loss})
+            loss_values = [float(lane_loss.data[k])
+                           for k in range(num_lanes)]
+            norms = None
+            if grad_clip is not None:
+                norms = _clip_lane_grads(param_list, active, grad_clip)
+            optimizer.step(active=active)
         newly_stopped = []
         for k in range(num_lanes):
             if not active[k]:

@@ -69,6 +69,14 @@ class TrainerConfig:
     canonical 1e-4 only when the field is ``None``.  An explicit ``0.0``
     is an affirmative "no decay" and is never overridden (the no-decay
     ablation).
+
+    ``jit=True`` turns on trace-capture replay
+    (:class:`repro.autodiff.trace.EpochJIT`): epochs 1–2 run eagerly and
+    are recorded, and if they are structurally identical the remaining
+    epochs replay a fused compiled plan — bit-identical to the eager loop,
+    falling back to eager automatically whenever the graph is not
+    replayable (data-dependent ``where`` masks, unsupported ops, graph
+    changes between epochs).
     """
 
     epochs: int = 300
@@ -79,6 +87,7 @@ class TrainerConfig:
     optimizer_kwargs: tuple = ()
     loss: str = "mse"
     callbacks: tuple[CallbackSpec, ...] = ()
+    jit: bool = False
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -161,6 +170,10 @@ class Trainer:
 
     def __init__(self, config: TrainerConfig | None = None):
         self.config = config if config is not None else TrainerConfig()
+        #: The :class:`~repro.autodiff.trace.EpochJIT` of the most recent
+        #: ``fit`` when ``config.jit`` is on (``None`` otherwise) — lets
+        #: tests and the profile CLI inspect replay counts and fallbacks.
+        self.last_jit = None
 
     def _assemble_callbacks(self, extra) -> list[Callback]:
         """Implicit grad clip, then config specs, then live extras."""
@@ -217,6 +230,25 @@ class Trainer:
         epoch_start = self._hooks(stack, "on_epoch_start")
         after_backward = self._hooks(stack, "on_after_backward")
         epoch_end = self._hooks(stack, "on_epoch_end")
+        jit = None
+        if self.config.jit:
+            from functools import partial
+
+            from ..autodiff.trace import EpochJIT
+
+            # The replay tail mirrors the eager post-backward sequence:
+            # publish the loss, run the after-backward hooks (grad clip
+            # reads the plan-bound ``p.grad`` arrays), then step.  The
+            # late-bound ``optimizer.step`` lambda keeps profiler patching
+            # and lr-schedule changes effective during replay.
+            def _publish_loss() -> None:
+                ctx.loss = jit.loss_value()
+
+            jit = EpochJIT(tail=[_publish_loss,
+                                 *(partial(hook, ctx)
+                                   for hook in after_backward),
+                                 lambda: optimizer.step()])
+        self.last_jit = jit
         was_training = model.training
         model.train()
         try:
@@ -227,9 +259,24 @@ class Trainer:
                 ctx.grad_norm = None
                 for hook in epoch_start:
                     hook(ctx)
+                if jit is not None and jit.replay():
+                    # Forward+backward+hooks+step ran as the compiled plan.
+                    history.record(ctx.loss, grad_norm=ctx.grad_norm,
+                                   lr=optimizer.lr)
+                    for hook in epoch_end:
+                        hook(ctx)
+                    if ctx.stop_requested:
+                        break
+                    continue
                 optimizer.zero_grad()
-                loss = loss_fn(model(inputs), targets)
-                loss.backward()
+                if jit is not None and jit.wants_capture:
+                    with jit.capture():
+                        loss = loss_fn(model(inputs), targets)
+                        loss.backward()
+                    jit.seal(loss)
+                else:
+                    loss = loss_fn(model(inputs), targets)
+                    loss.backward()
                 ctx.loss = loss.item()
                 for hook in after_backward:
                     hook(ctx)

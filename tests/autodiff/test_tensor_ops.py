@@ -227,6 +227,34 @@ class TestBackwardSemantics:
         with pytest.raises(ValueError):
             y.backward(np.ones(3))
 
+    def test_backward_dtype_mismatch_raises(self):
+        # A float32 seed into a float64 graph (or vice versa) would
+        # silently change every accumulated gradient; it must raise.
+        x = leaf((2, 2), 56)  # float64
+        y = x.sum(axis=0)
+        with pytest.raises(TypeError, match="dtype"):
+            y.backward(np.ones(2, dtype=np.float32))
+        y.backward(np.ones(2))  # matching dtype still accepted
+        assert x.grad is not None
+
+    def test_op_name_cache_memoizes_per_definition_site(self):
+        # Backward closures share one code object per op definition site;
+        # the qualname parse must run once and be reused across instances.
+        from repro.autodiff.tensor import _OP_NAME_CACHE, _op_name
+
+        a = leaf((2,), 57) * 2.0
+        b = leaf((2,), 58) * 3.0
+        assert a._backward.__code__ is b._backward.__code__
+        assert _op_name(a._backward) == "__mul__"
+        assert _OP_NAME_CACHE[a._backward.__code__] == "__mul__"
+        # poison the cache entry: a second resolve must hit the cache,
+        # proving the parse didn't rerun
+        _OP_NAME_CACHE[a._backward.__code__] = "cached-sentinel"
+        try:
+            assert _op_name(b._backward) == "cached-sentinel"
+        finally:
+            del _OP_NAME_CACHE[a._backward.__code__]
+
     def test_no_grad_blocks_graph(self):
         x = leaf((2,), 54)
         with no_grad():

@@ -135,6 +135,77 @@ class TestBitIdentity:
         assert_identical(serial, stacked)
 
 
+class TestJitReplay:
+    """``TrainerConfig.jit`` on the stacked backend: replay the whole
+    lane-stack epoch (forward, masked loss, backward, clip, step) from a
+    compiled plan, bit-identically — including in-place lane freezes."""
+
+    def run_jit_pair(self, cohort, model, trainer_config, **kw):
+        import dataclasses
+
+        jitted_config = dataclasses.replace(trainer_config, jit=True)
+        results = []
+        for config in (trainer_config, jitted_config):
+            parallel = ParallelConfig(jobs=1, backend="stacked")
+            results.append(run_cohort(cohort, model, 2,
+                                      trainer_config=config,
+                                      model_config=FAST_MODEL,
+                                      parallel=parallel, **kw))
+        return results
+
+    @pytest.mark.parametrize("model", ["lstm", "a3tgcn"])
+    def test_replay_matches_eager_stack(self, model):
+        # Dropout active at the model default: the plan refills each
+        # lane's mask from its solo RNG stream every replayed epoch.
+        cohort = make_cohort()
+        eager, jitted = self.run_jit_pair(cohort, model,
+                                          TrainerConfig(epochs=5))
+        assert_identical(eager, jitted)
+
+    def test_replay_with_grad_clip(self):
+        cohort = make_cohort()
+        config = TrainerConfig(epochs=5, learning_rate=5.0, grad_clip=1.0)
+        for model in ("lstm", "a3tgcn"):
+            eager, jitted = self.run_jit_pair(cohort, model, config)
+            assert_identical(eager, jitted)
+
+    def test_replay_tracks_lane_freezes(self):
+        # Lanes stop at different epochs; the refreshed in-place ``where``
+        # condition must mask them out of replayed epochs without a
+        # retrace, and each lane must finish bitwise-equal to eager.
+        cohort = make_cohort(num_individuals=4)
+        config = TrainerConfig(
+            epochs=25,
+            callbacks=(CallbackSpec.make("early-stopping", patience=2,
+                                         min_delta=1e-3),))
+        eager, jitted = self.run_jit_pair(cohort, "lstm", config)
+        assert_identical(eager, jitted)
+        assert any(r.history.stop_reason for r in jitted)
+        assert len({r.history.epochs for r in jitted}) > 1
+
+    def test_jit_matches_serial_process_backend(self):
+        # Transitivity check straight to ground truth: stacked+jit vs the
+        # per-individual serial path.
+        cohort = make_cohort(ragged=False)
+        config = TrainerConfig(epochs=4, jit=True)
+        serial = run_cohort(cohort, "lstm", 2, trainer_config=config,
+                            model_config=FAST_MODEL,
+                            parallel=ParallelConfig(jobs=1))
+        stacked = run_cohort(cohort, "lstm", 2, trainer_config=config,
+                             model_config=FAST_MODEL,
+                             parallel=ParallelConfig(jobs=1,
+                                                     backend="stacked"))
+        assert_identical(serial, stacked)
+
+    def test_huber_stack_falls_back_bitwise(self):
+        # Data-dependent where condition: the stack JIT must disable
+        # itself and the eager stack must carry the epoch unchanged.
+        cohort = make_cohort(ragged=False)
+        eager, jitted = self.run_jit_pair(
+            cohort, "lstm", TrainerConfig(epochs=4, loss="huber"))
+        assert_identical(eager, jitted)
+
+
 class TestLaneMasks:
     def test_early_stopped_lane_bitwise(self):
         # Lanes stop at different epochs; each must end with weights (and
