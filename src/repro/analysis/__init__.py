@@ -15,7 +15,7 @@ Usage::
     ema-gnn lint src/ --format json               # via the main CLI
     repro-lint                                    # console script
 
-Suppress a finding with a trailing ``# repro: noqa[CODE]`` comment (or a
+Suppress a finding with a trailing ``# repro: noqa[...]`` comment (or a
 bare ``# repro: noqa`` for every rule on that line).  See ``RULES`` for
 the rule table, and DESIGN.md for the rationale behind each rule.
 """

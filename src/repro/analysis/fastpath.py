@@ -1,0 +1,244 @@
+"""Static fast-path eligibility verdicts for every registered model.
+
+Built on :mod:`repro.analysis.shapecheck`: for each
+:data:`~repro.models.registry.MODEL_REGISTRY` entry this module decides —
+without training anything —
+
+* **traceable**: would the trace-capture JIT replay this architecture, or
+  would epoch verification raise ``TraceInvalid``?  Decided by symbolic
+  execution over probe dimensions (two perturbed abstract epochs).
+* **stackable**: does the cross-individual stacked backend accept it?
+  Decided by the *runtime's own*
+  :func:`repro.training.stacked.stackable_reason` over a synthetic cell,
+  so the two can never disagree.
+
+``ema-gnn check`` renders these verdicts (text/JSON); CI compares the
+JSON against the committed ``fastpath_baseline.json`` so an eligibility
+regression (a model silently falling off a fast path) fails the build;
+and :func:`repro.training.parallel.run_cells` consults
+:func:`registry_verdict` to pre-route cells — statically blocked models
+skip the wasted JIT capture epoch, with the static reason attached to
+their results.
+
+Probe dimensions are concrete but arbitrary (the analysis is
+shape-generic for these architectures); two window lengths are swept
+because seq_len = 1 changes model structure (A3TGCN skips its period
+attention).  Conservative by construction: a hazard reported here may, in
+exotic configurations, not fire at runtime — the agreement test pins the
+allowed direction (never a false "eligible").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+
+from ..models import MODEL_REGISTRY, ModelConfig, create_model
+from ..training.personalized import resolve_trainer_config
+from ..training.stacked import stackable_reason
+from . import hazards as _hazards
+from .shapecheck import AbstractExecutionError, HazardHit, analyze_forward
+
+__all__ = ["ModelVerdict", "PROBE_BATCH", "PROBE_SEQ_LENS",
+           "PROBE_VARIABLES", "analyze_model", "check_registry",
+           "probe_adjacency", "baseline_summary", "load_baseline",
+           "diff_baseline", "write_baseline", "registry_verdict"]
+
+#: Probe geometry for symbolic execution (values are arbitrary; symbols
+#: ``B``/``L``/``V`` tag the reported shapes).
+PROBE_BATCH = 7
+PROBE_VARIABLES = 6
+PROBE_SEQ_LENS = (1, 5)
+#: Small hyperparameters keep the concrete parameter-only subgraphs cheap.
+PROBE_CONFIG = ModelConfig(hidden_size=8, mtgnn_layers=1,
+                           mtgnn_embedding_dim=4)
+
+
+def probe_adjacency(num_variables: int = PROBE_VARIABLES) -> np.ndarray:
+    """Deterministic probe graph: a ring plus one symmetry-breaking chord."""
+    a = np.zeros((num_variables, num_variables))
+    for i in range(num_variables):
+        a[i, (i + 1) % num_variables] = a[(i + 1) % num_variables, i] = 1.0
+    if num_variables > 3:
+        a[0, num_variables // 2] = a[num_variables // 2, 0] = 1.0
+    return a
+
+
+@dataclass(frozen=True)
+class ModelVerdict:
+    """Static fast-path verdict for one registered model."""
+
+    model: str
+    family: str
+    traceable: bool
+    stackable: bool
+    hazards: tuple[HazardHit, ...] = ()
+    stack_blockers: tuple[str, ...] = ()
+    error: str | None = None
+
+    @property
+    def trace_reason(self) -> str | None:
+        """First blocking reason (mirrors ``EpochJIT.disabled_reason``)."""
+        if self.error is not None:
+            return self.error
+        return self.hazards[0].message if self.hazards else None
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "family": self.family,
+            "traceable": self.traceable,
+            "stackable": self.stackable,
+            "hazards": [h.to_dict() for h in self.hazards],
+            "stack_blockers": list(self.stack_blockers),
+            "error": self.error,
+        }
+
+
+def analyze_model(name: str, *, trainer_config=None,
+                  seq_lens: tuple[int, ...] = PROBE_SEQ_LENS,
+                  num_variables: int = PROBE_VARIABLES,
+                  model_config: ModelConfig | None = None,
+                  export_learned_graph: bool = False) -> ModelVerdict:
+    """Static verdict for one registry entry.
+
+    ``trainer_config`` (a :class:`~repro.training.trainer.TrainerConfig`
+    or None for the model's resolved defaults) supplies the loss for the
+    symbolic epochs and the optimizer/loss/callbacks for the stacking
+    check.
+    """
+    spec = MODEL_REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(f"unknown model {name!r}; expected one of "
+                         f"{tuple(MODEL_REGISTRY)}")
+    resolved = resolve_trainer_config(name, trainer_config)
+    cell = SimpleNamespace(model_name=name,
+                           export_learned_graph=export_learned_graph,
+                           trainer_config=trainer_config)
+    blocker = stackable_reason(cell)
+    stack_blockers = (blocker,) if blocker else ()
+
+    if spec.family != "gradient":
+        # Closed-form fits never run the epoch Trainer: there is no tape
+        # to capture, which the catalogue keys as an empty tape.
+        hit = HazardHit("empty-tape", _hazards.hazard_code("empty-tape"),
+                        _hazards.reason("empty-tape")
+                        + f" — {name!r} fits closed-form, no epoch loop")
+        return ModelVerdict(name, spec.family, traceable=False,
+                            stackable=not stack_blockers,
+                            hazards=(hit,), stack_blockers=stack_blockers)
+
+    config = model_config if model_config is not None else PROBE_CONFIG
+    merged: dict[tuple, HazardHit] = {}
+    error: str | None = None
+    for seq_len in seq_lens:
+        model = create_model(name, num_variables, seq_len,
+                             adjacency=probe_adjacency(num_variables),
+                             config=config, seed=0)
+        try:
+            analysis = analyze_forward(model, loss=resolved.loss)
+        except AbstractExecutionError as exc:
+            error = f"symbolic execution failed (seq_len={seq_len}): {exc}"
+            continue
+        for hit in analysis.hazards:
+            merged.setdefault((hit.key, hit.op), hit)
+    hazards = tuple(sorted(merged.values(), key=lambda h: (h.code, h.key)))
+    return ModelVerdict(name, spec.family,
+                        traceable=not hazards and error is None,
+                        stackable=not stack_blockers,
+                        hazards=hazards, stack_blockers=stack_blockers,
+                        error=error)
+
+
+def check_registry(*, trainer_config=None,
+                   models: tuple[str, ...] | None = None
+                   ) -> tuple[ModelVerdict, ...]:
+    """Verdicts for every registry entry (or an explicit subset)."""
+    names = tuple(models) if models is not None else tuple(MODEL_REGISTRY)
+    return tuple(analyze_model(name, trainer_config=trainer_config)
+                 for name in names)
+
+
+# ---------------------------------------------------------------------------
+# Cached verdicts for runtime pre-routing (training/parallel.py).
+# ---------------------------------------------------------------------------
+_VERDICT_CACHE: dict[tuple, ModelVerdict] = {}
+
+
+def registry_verdict(name: str, trainer_config=None) -> ModelVerdict:
+    """Memoized :func:`analyze_model` keyed by (model, resolved loss).
+
+    The loss function is the only trainer knob that changes the traced
+    op stream (``huber`` records a data-dependent ``where``), so one
+    symbolic execution per (architecture, loss) serves every cell.
+    """
+    resolved = resolve_trainer_config(name, trainer_config)
+    key = (name, resolved.loss)
+    if key not in _VERDICT_CACHE:
+        _VERDICT_CACHE[key] = analyze_model(name,
+                                            trainer_config=trainer_config)
+    return _VERDICT_CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# Baseline (CI drift gate).
+# ---------------------------------------------------------------------------
+#: The committed baseline ``ema-gnn check`` compares against in CI.
+BASELINE_PATH = Path(__file__).with_name("fastpath_baseline.json")
+
+
+def baseline_summary(verdicts) -> dict:
+    """Stable comparison summary: eligibility + hazard keys, not prose.
+
+    Message wording may evolve freely; a baseline diff means a *verdict*
+    changed — a model gained or lost a fast path, or the hazard set moved.
+    """
+    models = {}
+    for verdict in verdicts:
+        blocker_keys = sorted(
+            _hazards.match_reason(reason) or "unknown"
+            for reason in verdict.stack_blockers)
+        models[verdict.model] = {
+            "family": verdict.family,
+            "traceable": verdict.traceable,
+            "stackable": verdict.stackable,
+            "hazards": sorted(
+                f"{h.code}:{h.key}" + (f":{h.op}" if h.op else "")
+                for h in verdict.hazards),
+            "stack_blockers": blocker_keys,
+        }
+    return {"version": 1, "models": models}
+
+
+def write_baseline(path, verdicts) -> None:
+    Path(path).write_text(json.dumps(baseline_summary(verdicts), indent=2,
+                                     sort_keys=True) + "\n")
+
+
+def load_baseline(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def diff_baseline(verdicts, baseline: dict) -> list[str]:
+    """Human-readable differences between fresh verdicts and a baseline."""
+    current = baseline_summary(verdicts)["models"]
+    recorded = baseline.get("models", {})
+    diffs = []
+    for name in sorted(set(current) | set(recorded)):
+        if name not in recorded:
+            diffs.append(f"{name}: not in baseline")
+            continue
+        if name not in current:
+            diffs.append(f"{name}: in baseline but not analyzed")
+            continue
+        for field in ("family", "traceable", "stackable", "hazards",
+                      "stack_blockers"):
+            if current[name][field] != recorded[name][field]:
+                diffs.append(f"{name}: {field} changed "
+                             f"{recorded[name][field]!r} -> "
+                             f"{current[name][field]!r}")
+    return diffs

@@ -65,6 +65,7 @@ import numpy as np
 from .anomaly import is_anomaly_enabled
 from . import tensor as _tensor_mod
 from .tensor import Tensor, _unbroadcast
+from ..analysis.hazards import reason as _reason
 
 __all__ = ["EpochJIT", "TraceInvalid", "chain_reference"]
 
@@ -586,23 +587,18 @@ def _verify_where(cv1, cv2):
     # captured epochs happened to agree, later epochs may not, so the
     # trace is invalid.
     if cv1["cond"] is not cv2["cond"]:
-        raise TraceInvalid(
-            "where() condition is recomputed per epoch (data-dependent "
-            "mask); only a persistent externally-updated mask array can "
-            "be replayed")
+        raise TraceInvalid(_reason("where-data-dependent"))
 
 
 def _verify_lane_propagate(cv1, cv2):
     op1, op2 = cv1["operator"], cv2["operator"]
     if op1 is not op2 and not np.array_equal(op1, op2):
-        raise TraceInvalid("lane_propagate operator stack changed between "
-                           "captured epochs")
+        raise TraceInvalid(_reason("lane-propagate-changed"))
 
 
 def _verify_getitem(cv1, cv2):
     if cv1["fancy"] or cv2["fancy"]:
-        raise TraceInvalid("fancy (integer-array) indexing is not "
-                           "replayable")
+        raise TraceInvalid(_reason("getitem-fancy"))
 
 
 def _verify_matmul_general(cv1, cv2):
@@ -610,7 +606,7 @@ def _verify_matmul_general(cv1, cv2):
     # operands (tensordot contractions) that the replay mirror does not
     # reproduce; only the ndim >= 2 path is compiled.
     if cv2["a"].ndim < 2 or cv2["b"].ndim < 2:
-        raise TraceInvalid("matmul with a 1-D operand is not replayable")
+        raise TraceInvalid(_reason("matmul-1d"))
 
 
 def _sig_keys(*keys):
@@ -816,10 +812,10 @@ def _classify_constant(t1, t2) -> tuple:
     src2 = getattr(t2, "_trace_src", None)
     if (src1 is None) != (src2 is None) or \
             (src1 is not None and src1[0] != src2[0]):
-        raise TraceInvalid("constant annotation changed between epochs")
+        raise TraceInvalid(_reason("const-annotation-changed"))
     if src1 is not None and src1[0] == "volatile":
         if not _same_provider(src1[1], src2[1]):
-            raise TraceInvalid("volatile constant provider changed")
+            raise TraceInvalid(_reason("const-provider-changed"))
         return ("volatile", t2, src2[1])
     if src1 is not None and src1[0] == "derived":
         return ("derived", t2, src2[1], src2[2])
@@ -829,9 +825,7 @@ def _classify_constant(t1, t2) -> tuple:
         return ("const", t2, True)
     if t1.data.dtype == t2.data.dtype and np.array_equal(t1.data, t2.data):
         return ("const", t2, False)  # stable snapshot (equal both epochs)
-    raise TraceInvalid(
-        "a constant input changed value between the captured epochs "
-        "without a volatile/derived annotation")
+    raise TraceInvalid(_reason("const-value-changed"))
 
 
 def _verify(tape1, tape2, root1, root2, watch1, watch2) -> list:
@@ -842,67 +836,67 @@ def _verify(tape1, tape2, root1, root2, watch1, watch2) -> list:
     parameter identity or constant classification.
     """
     if len(tape1) != len(tape2):
-        raise TraceInvalid(f"op count changed between epochs "
-                           f"({len(tape1)} vs {len(tape2)})")
+        raise TraceInvalid(_reason("op-count-changed",
+                                   n1=len(tape1), n2=len(tape2)))
     if not tape2:
-        raise TraceInvalid("empty tape (nothing was captured)")
+        raise TraceInvalid(_reason("empty-tape"))
     rules = _rules()
     idx1 = {id(t): i for i, t in enumerate(tape1)}
     idx2 = {id(t): i for i, t in enumerate(tape2)}
     if idx1.get(id(root1)) != idx2.get(id(root2)) or id(root2) not in idx2:
-        raise TraceInvalid("backward root moved between epochs")
+        raise TraceInvalid(_reason("root-moved"))
     for name in watch2:
         if idx1.get(id(watch1[name])) != idx2.get(id(watch2[name])):
-            raise TraceInvalid(f"watched tensor {name!r} moved between "
-                               f"epochs")
+            raise TraceInvalid(_reason("watch-moved", name=name))
     records: list[_Record] = []
     for i, (t1, t2) in enumerate(zip(tape1, tape2)):
         code = t2._backward.__code__
         if t1._backward.__code__ is not code:
-            raise TraceInvalid(
-                f"op #{i} changed ({t1._backward.__qualname__} vs "
-                f"{t2._backward.__qualname__})")
+            raise TraceInvalid(_reason(
+                "op-changed", i=i, q1=t1._backward.__qualname__,
+                q2=t2._backward.__qualname__))
         rule = rules.get(code)
         if rule is None:
-            raise TraceInvalid(
-                f"op #{i} ({t2._backward.__qualname__.split('.<locals>')[0]})"
-                f" has no replay rule")
+            raise TraceInvalid(_reason(
+                "op-unsupported", i=i,
+                op=t2._backward.__qualname__.split('.<locals>')[0]))
         if t1.shape != t2.shape or t1.dtype != t2.dtype:
-            raise TraceInvalid(
-                f"op #{i} ({rule.name}) output changed shape/dtype: "
-                f"{t1.shape}/{t1.dtype} vs {t2.shape}/{t2.dtype}")
+            raise TraceInvalid(_reason(
+                "shape-changed", i=i, op=rule.name,
+                before=f"{t1.shape}/{t1.dtype}",
+                after=f"{t2.shape}/{t2.dtype}"))
         cv1, cv2 = _closure_vars(t1._backward), _closure_vars(t2._backward)
         try:
             if rule.signature(cv1) != rule.signature(cv2):
-                raise TraceInvalid(
-                    f"op #{i} ({rule.name}) scalar operands changed")
+                raise TraceInvalid(_reason(
+                    "scalar-operands-changed", i=i, op=rule.name))
         except TraceInvalid:
             raise
         except Exception as error:
-            raise TraceInvalid(f"op #{i} ({rule.name}) signature "
-                               f"unreadable: {error}") from error
+            raise TraceInvalid(_reason(
+                "signature-unreadable", i=i, op=rule.name,
+                error=error)) from error
         if rule.verify is not None:
             rule.verify(cv1, cv2)
         if len(t1._parents) != len(t2._parents):
-            raise TraceInvalid(f"op #{i} ({rule.name}) arity changed")
+            raise TraceInvalid(_reason("arity-changed", i=i, op=rule.name))
         specs = []
         for p1, p2 in zip(t1._parents, t2._parents):
             if p1.requires_grad != p2.requires_grad:
-                raise TraceInvalid(f"op #{i} input requires_grad flipped")
+                raise TraceInvalid(_reason("requires-grad-flipped", i=i))
             wired1, wired2 = p1._backward is not None, p2._backward is not None
             if wired1 != wired2:
-                raise TraceInvalid(f"op #{i} input graph wiring changed")
+                raise TraceInvalid(_reason("wiring-changed", i=i))
             if wired2:
                 j1, j2 = idx1.get(id(p1)), idx2.get(id(p2))
                 if j2 is None or j1 != j2:
-                    raise TraceInvalid(
-                        f"op #{i} ({rule.name}) input graph extends beyond"
-                        f" the captured epoch or was rewired")
+                    raise TraceInvalid(_reason(
+                        "graph-extends-beyond-epoch", i=i, op=rule.name))
                 specs.append(("node", j2))
             elif p2.requires_grad:
                 if p1 is not p2:
-                    raise TraceInvalid(
-                        f"op #{i} ({rule.name}) parameter identity changed")
+                    raise TraceInvalid(_reason(
+                        "param-identity-changed", i=i, op=rule.name))
                 specs.append(("param", p2))
             else:
                 specs.append(_classify_constant(p1, p2))
@@ -1130,8 +1124,7 @@ class _Compiler:
         for name, t in self.watch.items():
             j = index.get(id(t))
             if j is None:
-                raise TraceInvalid(f"watched tensor {name!r} is not a "
-                                   f"captured node")
+                raise TraceInvalid(_reason("watch-not-captured", name=name))
             pinned.add(j)
         for i in reachable:
             for spec in records[i].parents:
@@ -1239,8 +1232,7 @@ class _Compiler:
             self._guard(src)
             src_buf = src._data
         else:
-            raise TraceInvalid("derived constant source is outside the "
-                               "captured epoch")
+            raise TraceInvalid(_reason("derived-source-outside"))
         self.add_call(rec, "forward", lambda: np.copyto(buf, fn(src_buf)))
 
     def _find_chains(self, reachable, consumers, pinned) -> list[list[int]]:
@@ -1447,7 +1439,7 @@ class EpochJIT:
         if is_anomaly_enabled():
             return False  # stay ready; replay resumes when the mode exits
         if not self.plan.guards_ok():
-            self._invalidate("parameter storage was rebound")
+            self._invalidate(_reason("param-storage-rebound"))
             return False
         self.plan.run()
         self.total_replays += 1

@@ -39,8 +39,17 @@ Examples
                                               # to every fit; print the
                                               # hot-op table and write a
                                               # Chrome trace + JSON report
+    ema-gnn table2  --profile tiny --jit \\
+            --explain-fallbacks               # per-cell summary of why
+                                              # individuals fell off the
+                                              # JIT/stacked fast paths
     ema-gnn profile --target table2           # dedicated profiling run
     ema-gnn lint src/ tests/                  # repo-specific static analysis
+    ema-gnn check                             # static fast-path verdicts
+                                              # for every registered model
+    ema-gnn check --format json               # machine-readable verdicts
+                                              # (CI diffs them against the
+                                              # committed baseline)
 
 (``--profile`` selects the experiment *scale*; the op-level wall-clock
 profiler is ``--profiler`` / the ``profile`` subcommand.)
@@ -192,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--profile-out", default=None, metavar="DIR",
                              help="with --profiler: also write trace.json "
                                   "(chrome://tracing) and profile.json here")
+            cmd.add_argument("--explain-fallbacks", action="store_true",
+                             help="after the table, print a per-cell "
+                                  "summary of why individuals fell back "
+                                  "off the JIT / stacked fast paths; with "
+                                  "--out, adds {column}_fallback_reason "
+                                  "columns to the CSV (off by default — "
+                                  "the CSV format is unchanged without it)")
     prof = sub.add_parser(
         "profile", help="profile one experiment's hot ops and write a "
                         "Chrome trace")
@@ -219,10 +235,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: the repro package)")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="output format (default: text)")
+    check = sub.add_parser(
+        "check", help="static fast-path verdicts: symbolically execute "
+                      "every registered model and report whether the "
+                      "trace-capture JIT and the stacked backend accept it")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default: text); json emits the "
+                            "full verdict records")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="compare verdicts against this baseline JSON "
+                            "and exit non-zero on any drift (default: the "
+                            "committed fastpath_baseline.json)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="skip the baseline comparison")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="regenerate the baseline file from the current "
+                            "verdicts instead of comparing")
     return parser
 
 
-def _export_table(result, command: str, out_dir: str) -> None:
+def _export_table(result, command: str, out_dir: str,
+                  fallback_reasons: dict | None = None) -> None:
     from pathlib import Path
 
     from .evaluation import (write_per_individual_csv, write_table_csv,
@@ -234,7 +267,8 @@ def _export_table(result, command: str, out_dir: str) -> None:
     title = {"table2": "Table II (Experiment A)",
              "table3": "Table III (Experiment B)"}[command]
     written = [
-        write_table_csv(directory / f"{command}.csv", result.rows, columns),
+        write_table_csv(directory / f"{command}.csv", result.rows, columns,
+                        fallback_reasons=fallback_reasons),
         write_table_markdown(directory / f"{command}.md", title,
                              result.rows, columns),
         write_per_individual_csv(directory / f"{command}_per_individual.csv",
@@ -242,6 +276,96 @@ def _export_table(result, command: str, out_dir: str) -> None:
     ]
     for path in written:
         print(f"wrote {path}")
+
+
+def _fallback_summaries(result) -> dict:
+    """Per-cell summaries of why individuals fell off a fast path.
+
+    Keys are the runner's raw ``(row label, column)`` pairs; values
+    aggregate the distinct :attr:`IndividualResult.fallback_reason`
+    strings in the cell with their frequency, e.g.
+    ``"a constant input changed value between epochs [8/8]"``.  Cells
+    where everyone took the fast path (or none was requested) are absent.
+    """
+    from collections import Counter
+
+    summaries: dict = {}
+    for key, individual_results in getattr(result, "raw", {}).items():
+        reasons = Counter(getattr(item, "fallback_reason", None)
+                          for item in individual_results)
+        reasons.pop(None, None)
+        if not reasons:
+            continue
+        total = len(individual_results)
+        summaries[key] = "; ".join(
+            f"{reason} [{count}/{total}]"
+            for reason, count in sorted(reasons.items()))
+    return summaries
+
+
+def _report_fallbacks(result) -> None:
+    """Print the per-cell fast-path fallback summary (opt-in)."""
+    summaries = _fallback_summaries(result)
+    print()
+    if not summaries:
+        print("fast-path fallbacks: none — every cell took the fast "
+              "path(s) it requested (or none was enabled)")
+        return
+    print("fast-path fallbacks:")
+    for (row, column), summary in summaries.items():
+        print(f"  {row} / {column}: {summary}")
+
+
+def _run_check(args) -> int:
+    """``ema-gnn check``: static verdicts + optional baseline gate."""
+    import json
+
+    from .analysis import fastpath
+
+    verdicts = fastpath.check_registry()
+    baseline_path = args.baseline if args.baseline is not None \
+        else fastpath.BASELINE_PATH
+    if args.write_baseline:
+        fastpath.write_baseline(baseline_path, verdicts)
+        print(f"wrote {baseline_path}")
+        return 0
+    if args.format == "json":
+        print(json.dumps({"verdicts": [v.to_dict() for v in verdicts],
+                          "summary": fastpath.baseline_summary(verdicts)},
+                         indent=2))
+    else:
+        print("static fast-path verdicts "
+              f"({len(verdicts)} registered models):")
+        for v in verdicts:
+            trace = "traceable" if v.traceable else "no-jit"
+            stack = "stackable" if v.stackable else "no-stack"
+            print(f"  {v.model:<12} {v.family:<12} {trace:<10} {stack}")
+            for hit in v.hazards:
+                print(f"      [{hit.code}] {hit.message}")
+            if v.error is not None:
+                print(f"      [error] {v.error}")
+            for blocker in v.stack_blockers:
+                print(f"      [stack] {blocker}")
+    if args.no_baseline:
+        return 0
+    from pathlib import Path
+
+    if not Path(baseline_path).exists():
+        print(f"note: baseline {baseline_path} not found; skipping the "
+              f"drift check (create it with --write-baseline)",
+              file=sys.stderr)
+        return 0
+    diffs = fastpath.diff_baseline(verdicts,
+                                   fastpath.load_baseline(baseline_path))
+    if diffs:
+        print(f"\nverdicts drifted from baseline {baseline_path}:",
+              file=sys.stderr)
+        for diff in diffs:
+            print(f"  {diff}", file=sys.stderr)
+        print("(intentional? regenerate with: ema-gnn check "
+              "--write-baseline)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _config(args):
@@ -391,6 +515,9 @@ def main(argv: list[str] | None = None) -> int:
 
         return lint_run(args.paths, args.format)
 
+    if args.command == "check":
+        return _run_check(args)
+
     if args.command == "scenarios":
         print("Table I: examined scenarios")
         for factor, levels in TABLE1.items():
@@ -439,8 +566,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(result.render())
     _report_failures(result)
+    explain = getattr(args, "explain_fallbacks", False)
+    if explain:
+        _report_fallbacks(result)
     if getattr(args, "out", None) and args.command in ("table2", "table3"):
-        _export_table(result, args.command, args.out)
+        _export_table(result, args.command, args.out,
+                      fallback_reasons=_fallback_summaries(result)
+                      if explain else None)
     if getattr(args, "profiler", False):
         status = _emit_profile(result, getattr(args, "profile_out", None))
         if status:

@@ -18,12 +18,21 @@ __all__ = ["write_table_csv", "write_table_markdown", "write_per_individual_csv"
 
 
 def write_table_csv(path, rows: Mapping[str, Mapping[str, CohortScore]],
-                    columns: Sequence[str]) -> Path:
+                    columns: Sequence[str],
+                    fallback_reasons: Mapping[tuple[str, str], str] | None
+                    = None) -> Path:
     """Write a table of CohortScores as CSV (mean, std, n, failed per cell).
 
     ``{column}_failed`` counts individuals excluded from the cell's
     mean/std because their training cell failed for good under the
     fault-tolerant scheduler (0 for a fully healthy run).
+
+    ``fallback_reasons`` is strictly opt-in: when given (a mapping from
+    ``(row label, column)`` to a summary string, see
+    ``ema-gnn table2 --explain-fallbacks``), each column gains a
+    ``{column}_fallback_reason`` field.  When ``None`` (the default) the
+    output is byte-identical to the pre-diagnostics format — CI's
+    byte-comparison jobs depend on that.
     """
     path = Path(path)
     with path.open("w", newline="") as handle:
@@ -32,6 +41,8 @@ def write_table_csv(path, rows: Mapping[str, Mapping[str, CohortScore]],
         for column in columns:
             header += [f"{column}_mean", f"{column}_std", f"{column}_n",
                        f"{column}_failed"]
+            if fallback_reasons is not None:
+                header += [f"{column}_fallback_reason"]
         writer.writerow(header)
         for label, cells in rows.items():
             record = [label]
@@ -42,6 +53,8 @@ def write_table_csv(path, rows: Mapping[str, Mapping[str, CohortScore]],
                 else:
                     record += [f"{cell.mean:.6f}", f"{cell.std:.6f}",
                                cell.count, cell.n_failed]
+                if fallback_reasons is not None:
+                    record += [fallback_reasons.get((label, column), "")]
             writer.writerow(record)
     return path
 

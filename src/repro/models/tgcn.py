@@ -13,8 +13,9 @@ import numpy as np
 from ..autodiff import Tensor, concat, no_grad
 from ..nn import GCNConv
 from ..nn.module import Module
+from .base import Forecaster
 
-__all__ = ["TGCNCell"]
+__all__ = ["TGCNCell", "TGCNForecaster"]
 
 
 class TGCNCell(Module):
@@ -68,3 +69,41 @@ class TGCNCell(Module):
 
         return Tensor(np.zeros((samples, nodes, self.hidden_size),
                                dtype=get_default_dtype()))
+
+
+class TGCNForecaster(Forecaster):
+    """``(S, L, V) -> T-GCN over L -> last hidden state -> (S, V)``.
+
+    The plain T-GCN of Zhao et al.: the recurrence's *final* per-node
+    hidden state is the context (no temporal attention — that addition is
+    exactly what turns this model into A3TGCN).  Kept in the registry as
+    the ablation point between LSTM and A3TGCN: graph mixing without
+    attention.
+    """
+
+    requires_graph = True
+
+    def __init__(self, num_variables: int, seq_len: int, adjacency: np.ndarray,
+                 hidden_size: int = 32, dropout: float = 0.3,
+                 rng: np.random.Generator | None = None):
+        super().__init__(num_variables, seq_len)
+        rng = rng if rng is not None else np.random.default_rng()
+        from ..nn import Dropout, Linear
+
+        self.hidden_size = hidden_size
+        self.cell = TGCNCell(1, hidden_size, adjacency, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.head = Linear(hidden_size, 1, rng=rng)
+
+    def set_adjacency(self, adjacency: np.ndarray) -> None:
+        self.cell.set_adjacency(adjacency)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        self._check_input(inputs)
+        samples = inputs.shape[0]
+        hidden = self.cell.initial_state(samples, self.num_variables)
+        for t in range(self.seq_len):
+            step = inputs[:, t, :].reshape(samples, self.num_variables, 1)
+            hidden = self.cell(step, hidden)
+        out = self.head(self.dropout(hidden))
+        return out.reshape(samples, self.num_variables)

@@ -79,7 +79,8 @@ class VARForecaster(Forecaster):
         self._check_input(inputs)
         flat = inputs.data.reshape(inputs.shape[0], -1)
         prediction = flat @ self._coefficients + self._intercept
-        return Tensor(prediction.astype(inputs.dtype))
+        # Closed-form model: never trained, never traced.
+        return Tensor(prediction.astype(inputs.dtype))  # repro: noqa[REPRO011]
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         if not self._fitted:
@@ -105,7 +106,8 @@ class NaiveMeanForecaster(Forecaster):
     def forward(self, inputs: Tensor) -> Tensor:
         self._check_input(inputs)
         out = np.broadcast_to(self._mean, (inputs.shape[0], self.num_variables))
-        return Tensor(out.astype(inputs.dtype).copy())
+        # Closed-form model: never trained, never traced.
+        return Tensor(out.astype(inputs.dtype).copy())  # repro: noqa[REPRO011]
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         return np.broadcast_to(self._mean,

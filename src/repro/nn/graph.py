@@ -39,7 +39,7 @@ def scaled_laplacian(adjacency: np.ndarray) -> np.ndarray:
     norm = normalize_adjacency(a, add_self_loops=False)
     laplacian = np.eye(a.shape[0]) - norm
     eigvals = np.linalg.eigvalsh(laplacian)
-    lam_max = float(eigvals.max())
+    lam_max = float(eigvals.max())  # repro: noqa[REPRO010] — numpy array
     if lam_max < 1e-8:
         # Empty graph: Laplacian is 0 (isolated, no self loops) -> use -I.
         return -np.eye(a.shape[0])
@@ -232,7 +232,9 @@ class MixHopPropagation(Module):
             if not isinstance(adjacency, Tensor):
                 from ..autodiff.tensor import get_default_dtype
 
-                adjacency = Tensor(
+                # Static input graph: the rebuilt value is stable
+                # across epochs, so trace capture accepts it.
+                adjacency = Tensor(  # repro: noqa[REPRO011]
                     np.asarray(adjacency, dtype=get_default_dtype()))
             propagation = self._row_normalize(adjacency)
         hidden = x
@@ -305,7 +307,9 @@ class GraphLearner(Module):
         if self.top_k is None or self.top_k >= self.num_nodes:
             return raw
         mask = self._top_k_mask(raw.data, self.top_k)
-        return raw * Tensor(mask)
+        # The top-k mask drifts as the embeddings train — MTGNN's
+        # documented JIT fallback (see ema-gnn check).
+        return raw * Tensor(mask)  # repro: noqa[REPRO011]
 
     @staticmethod
     def _top_k_mask(matrix: np.ndarray, k: int) -> np.ndarray:

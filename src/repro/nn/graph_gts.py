@@ -112,14 +112,18 @@ class GTSGraphLearner(Module):
         logits = self.edge_mlp(self._pair_features).reshape(
             self.num_nodes, self.num_nodes)
         adjacency = (logits * (1.0 / self.temperature)).sigmoid()
-        off_diagonal = Tensor(1.0 - np.eye(self.num_nodes,
-                                           dtype=adjacency.dtype))
+        # Stable zero-diagonal mask; capture accepts the constant.
+        off_diagonal = Tensor(  # repro: noqa[REPRO011]
+            1.0 - np.eye(self.num_nodes, dtype=adjacency.dtype))
         adjacency = adjacency * off_diagonal
         if self.top_k is not None and self.top_k < self.num_nodes:
             from .graph import GraphLearner
 
             mask = GraphLearner._top_k_mask(adjacency.data, self.top_k)
-            adjacency = adjacency * Tensor(mask.astype(adjacency.dtype))
+            # Data-dependent top-k mask — same documented fallback
+            # as GraphLearner's.
+            adjacency = adjacency * \
+                Tensor(mask.astype(adjacency.dtype))  # repro: noqa[REPRO011]
         return adjacency
 
     def learned_adjacency(self) -> np.ndarray:

@@ -41,7 +41,7 @@ import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
@@ -339,6 +339,34 @@ def run_attempt(cell: CohortCell, injector: FaultInjector | None,
     return injector.after_execute(execute_cell(cell), index, attempt)
 
 
+def _static_jit_notes(cells: list[CohortCell]) -> dict[int, str]:
+    """Indexes of statically JIT-blocked cells mapped to their reason.
+
+    Consults the memoized static verdict
+    (:func:`repro.analysis.fastpath.registry_verdict`) for every cell
+    whose trainer config requests the trace-capture JIT.  Cells the
+    analyzer proves non-traceable are pre-routed: the scheduler trains
+    them with ``jit=False`` — bit-identical results, minus the doomed
+    capture/verify epochs — and attaches the static reason to their
+    results.  Purely an optimization + diagnostics layer: any analysis
+    failure degrades to "no pre-routing", never to a broken run.
+    """
+    notes: dict[int, str] = {}
+    try:
+        from ..analysis.fastpath import registry_verdict
+
+        for index, cell in enumerate(cells):
+            tc = cell.trainer_config
+            if tc is None or not tc.jit:
+                continue
+            verdict = registry_verdict(cell.model_name, tc)
+            if not verdict.traceable and verdict.trace_reason is not None:
+                notes[index] = verdict.trace_reason
+    except Exception:  # pragma: no cover - analysis must never break runs
+        return {}
+    return notes
+
+
 @dataclass
 class _Attempt:
     """Scheduler bookkeeping for one cell's execution tries."""
@@ -388,6 +416,15 @@ def run_cells(cells: list[CohortCell],
     in each failed slot.
     """
     config = config if config is not None else ParallelConfig()
+    cells = list(cells)
+    # Static fast-path pre-routing: cells the analyzer proves untraceable
+    # skip the JIT's capture/verify epochs entirely (replay on/off is
+    # bit-identical, so results and checkpoint keys are unaffected).
+    fallback_notes = _static_jit_notes(cells)
+    for index in fallback_notes:
+        cell = cells[index]
+        cells[index] = replace(cell, trainer_config=replace(
+            cell.trainer_config, jit=False))
     checkpoint = config.checkpoint
     total = len(cells)
     results: list = [None] * total
@@ -479,9 +516,14 @@ def run_cells(cells: list[CohortCell],
         # parameter stacks and returns the rest (ineligible, failed or
         # divergent) to run below under the ordinary per-individual
         # scheduler with its full retry semantics.
-        from .stacked import run_stacked
+        from .stacked import run_stacked, stackable_reason
 
         pending = run_stacked(cells, pending, config, finish)
+        for index in pending:
+            if index not in fallback_notes:
+                blocker = stackable_reason(cells[index])
+                if blocker is not None:
+                    fallback_notes[index] = f"not stacked: {blocker}"
 
     use_pool = bool(pending) and (
         (config.jobs > 1 and len(pending) > 1) or config.timeout is not None)
@@ -489,6 +531,18 @@ def run_cells(cells: list[CohortCell],
         _run_supervised_pool(cells, pending, config, finish, handle_failure)
     else:
         _run_serial(cells, pending, config, finish, handle_failure)
+
+    # Attach the static/stacking diagnosis to results that carry no
+    # runtime one (pre-routed cells never attempted capture, so the
+    # runtime field is empty).  getattr: checkpointed results pickled
+    # before the field existed must still load.
+    for index, note in fallback_notes.items():
+        result = results[index]
+        if result is None or result is _SKIPPED \
+                or isinstance(result, CellFailure):
+            continue
+        if getattr(result, "fallback_reason", None) is None:
+            result.fallback_reason = note
 
     if config.on_error == "skip":
         return [result for result in results if result is not _SKIPPED]

@@ -49,6 +49,12 @@ class IndividualResult:
     #: entry otherwise), so cross-repeat spread stays recoverable after
     #: averaging.
     repeat_scores: tuple[float, ...] | None = None
+    #: Why this cell did not take a fast path (``None`` when it did, or
+    #: when no fast path was requested).  Populated from the JIT's runtime
+    #: ``disabled_reason`` when ``trainer_config.jit`` is on, or from the
+    #: static verdict when :func:`~repro.training.parallel.run_cells`
+    #: pre-routed the cell around a doomed capture attempt.
+    fallback_reason: str | None = None
 
     @property
     def diverged(self) -> bool:
@@ -100,6 +106,8 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
     learned = None
     if export_learned_graph and isinstance(model, MTGNN):
         learned = model.learned_graph()
+    fallback = trainer.last_jit.disabled_reason \
+        if trainer.last_jit is not None else None
     return IndividualResult(
         identifier=individual.identifier,
         model_name=model_name,
@@ -109,6 +117,7 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
         learned_graph=learned,
         static_graph=graph,
         history=history,
+        fallback_reason=fallback,
     )
 
 
@@ -155,6 +164,9 @@ def aggregate_repeats(repeats: list[IndividualResult]) -> IndividualResult:
         static_graph=repeats[0].static_graph,
         history=repeats[0].history,
         repeat_scores=scores,
+        fallback_reason=next(
+            (r.fallback_reason for r in repeats
+             if r.fallback_reason is not None), None),
     )
 
 

@@ -56,6 +56,13 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..analysis.hazards import (LANE_CALLBACKS as _LANE_CALLBACKS,
+                                STACKED_LOSSES as _STACKED_LOSSES,
+                                STACKED_MODELS,
+                                STACKED_OPTIMIZER_KWARGS
+                                as _STACKED_OPTIMIZER_KWARGS,
+                                STACKED_OPTIMIZERS as _STACKED_OPTIMIZERS,
+                                reason as _reason)
 from ..autodiff import (Tensor, concat, get_default_dtype, no_grad,
                         set_default_dtype, softmax, stack, where)
 from ..data.splits import split_windows
@@ -75,44 +82,36 @@ if TYPE_CHECKING:
 
 __all__ = ["stackable_reason", "run_stacked", "STACKED_MODELS"]
 
-#: Models with a lane-exact stacked forward.
-STACKED_MODELS = ("lstm", "a3tgcn")
-
-#: Losses with a lane-wise (per-row) form identical to the solo reduction.
-_STACKED_LOSSES = ("mse", "mae", "huber")
-
-#: Callback specs with a lane-masked handler implementation.
-_LANE_CALLBACKS = ("early-stopping", "divergence-guard")
-
-#: Optimizer kwargs the stacked Adam understands ("fused" is a solo-Adam
-#: toggle; the stacked step is always the fused flat-buffer form).
-_STACKED_OPTIMIZER_KWARGS = ("betas", "eps", "fused")
+# The eligibility tables (STACKED_MODELS, lane-wise losses/callbacks,
+# stacked-Adam kwargs) live in :mod:`repro.analysis.hazards` so the static
+# fast-path analyzer and this runtime check read the same data.
 
 
 def stackable_reason(cell: "CohortCell") -> str | None:
     """Why ``cell`` cannot join a stack, or ``None`` if it can.
 
     The returned string is a human-readable blocker used in diagnostics;
-    callers treat ``None`` as "eligible".
+    callers treat ``None`` as "eligible".  Every blocker is a
+    :mod:`repro.analysis.hazards` catalogue entry (REPRO012), so the
+    static analyzer reports the same strings this function returns.
     """
     if cell.model_name not in STACKED_MODELS:
-        return f"model {cell.model_name!r} has no stacked forward"
+        return _reason("stack-no-forward", model=cell.model_name)
     if cell.export_learned_graph:
-        return "learned-graph export requires per-individual execution"
+        return _reason("stack-learned-graph")
     resolved = resolve_trainer_config(cell.model_name, cell.trainer_config)
-    if resolved.optimizer != "adam":
-        return (f"optimizer {resolved.optimizer!r} has no lane-masked "
-                f"implementation (only 'adam')")
+    if resolved.optimizer not in _STACKED_OPTIMIZERS:
+        return _reason("stack-optimizer", optimizer=resolved.optimizer)
     extra = sorted(set(dict(resolved.optimizer_kwargs))
                    - set(_STACKED_OPTIMIZER_KWARGS))
     if extra:
-        return f"optimizer kwargs {extra} are not supported when stacking"
+        return _reason("stack-optimizer-kwargs", extra=extra)
     if resolved.loss not in _STACKED_LOSSES:
-        return f"loss {resolved.loss!r} has no lane-wise form"
+        return _reason("stack-loss", loss=resolved.loss)
     unsupported = sorted({spec.name for spec in resolved.callbacks}
                          - set(_LANE_CALLBACKS))
     if unsupported:
-        return f"callbacks {unsupported} are not lane-maskable"
+        return _reason("stack-callbacks", unsupported=unsupported)
     return None
 
 
@@ -259,7 +258,10 @@ def _lane_losses(prediction: Tensor, targets: np.ndarray,
         abs_diff = diff.abs()
         quadratic = diff * diff * 0.5
         linear = abs_diff * delta - 0.5 * delta * delta
-        per_element = where(abs_diff.data <= delta, quadratic, linear)
+        # The stacked backend trains eagerly; lane losses are never
+        # trace-captured.
+        per_element = where(abs_diff.data <= delta,  # repro: noqa[REPRO007]
+                            quadratic, linear)
     else:  # pragma: no cover - guarded by stackable_reason
         raise ValueError(f"loss {loss_name!r} has no lane-wise form")
     return per_element.reshape(lanes, -1).sum(axis=1) * (1.0 / count)
@@ -350,6 +352,46 @@ def _forward_a3tgcn(params: "OrderedDict[str, Parameter]",
     return out.reshape(lanes, samples, nodes)
 
 
+def _forward_tgcn(params: "OrderedDict[str, Parameter]",
+                  propagation: np.ndarray, inputs: np.ndarray,
+                  hidden_size: int, seq_len: int,
+                  dropout_masks: Tensor | None) -> Tensor:
+    """Stacked T-GCN forward: ``(K, S, L, V) -> (K, S, V)``.
+
+    Lane ``k`` replays :meth:`repro.models.tgcn.TGCNForecaster.forward` —
+    the A3TGCN recurrence without the temporal attention: the final
+    hidden state is the context.
+    """
+    lanes, samples, _, nodes = inputs.shape
+    w1 = params["cell.graph_conv1.linear.weight"]
+    b1 = params["cell.graph_conv1.linear.bias"]
+    w2 = params["cell.graph_conv2.linear.weight"]
+    b2 = params["cell.graph_conv2.linear.bias"]
+    gates_w = params["cell.gates.weight"]
+    gates_b = params["cell.gates.bias"]
+    cand_w = params["cell.candidate.weight"]
+    cand_b = params["cell.candidate.bias"]
+    hidden = Tensor(np.zeros((lanes, samples, nodes, hidden_size),
+                             dtype=inputs.dtype))
+    for t in range(seq_len):
+        step = Tensor(inputs[:, :, t, :].reshape(lanes, samples, nodes, 1))
+        gc = gcn_conv_stacked(
+            propagation,
+            gcn_conv_stacked(propagation, step, w1, b1).relu(), w2, b2)
+        combined = concat([gc, hidden], axis=-1)
+        gates = lane_affine(combined, gates_w, gates_b).sigmoid()
+        update = gates[..., :hidden_size]
+        reset = gates[..., hidden_size:]
+        candidate = lane_affine(concat([gc, reset * hidden], axis=-1),
+                                cand_w, cand_b).tanh()
+        hidden = update * hidden + (1.0 - update) * candidate
+    context = hidden
+    if dropout_masks is not None:
+        context = context * dropout_masks
+    out = lane_affine(context, params["head.weight"], params["head.bias"])
+    return out.reshape(lanes, samples, nodes)
+
+
 def _forward_lstm(params: "OrderedDict[str, Parameter]", inputs: np.ndarray,
                   hidden_size: int, seq_len: int, num_layers: int,
                   dropout_masks: Tensor | None) -> Tensor:
@@ -426,13 +468,13 @@ def _execute_stack(lanes: list[_Lane],
     param_list = list(params.values())
 
     propagation = None
-    if model_name == "a3tgcn":
+    if model_name in ("a3tgcn", "tgcn"):
         propagation = cached_stacked_adjacency(
             [lane.graph for lane in lanes])
 
     hidden_size = models[0].hidden_size
     dropout_p = models[0].dropout.p
-    if model_name == "a3tgcn":
+    if model_name in ("a3tgcn", "tgcn"):
         mask_shape = (samples, nodes, hidden_size)
     else:
         mask_shape = (samples, hidden_size)
@@ -461,6 +503,9 @@ def _execute_stack(lanes: list[_Lane],
         if model_name == "a3tgcn":
             return _forward_a3tgcn(params, propagation, inputs, hidden_size,
                                    seq_len, masks)
+        if model_name == "tgcn":
+            return _forward_tgcn(params, propagation, inputs, hidden_size,
+                                 seq_len, masks)
         return _forward_lstm(params, inputs, hidden_size, seq_len,
                              models[0].lstm.num_layers, masks)
 

@@ -178,6 +178,115 @@ class TestRepro006BareExcept:
         assert codes(src, TESTS) == []
 
 
+class TestRepro007WhereDataDependent:
+    def test_fires_on_inline_comparison(self):
+        src = "out = where(x.data > 0, x, negative)\n"
+        assert codes(src, NN) == ["REPRO007"]
+
+    def test_fires_on_dot_data_condition(self):
+        src = "out = where(mask.data, a, b)\n"
+        assert codes(src, NN) == ["REPRO007"]
+
+    def test_silent_on_precomputed_condition(self):
+        assert codes("out = where(mask, a, b)\n", NN) == []
+
+    def test_silent_on_np_where(self):
+        src = "import numpy as np\nsafe = np.where(std > 0, std, 1.0)\n"
+        assert codes(src) == []
+
+    def test_tests_are_exempt(self):
+        assert codes("out = where(x.data > 0, x, y)\n", TESTS) == []
+
+
+class TestRepro008FancyIndexing:
+    def test_fires_on_list_index(self):
+        assert codes("y = x[[0, 2]]\n", NN) == ["REPRO008"]
+
+    def test_fires_on_argsort_index(self):
+        src = "y = x[np.argsort(scores)]\n"
+        assert codes(src, NN) == ["REPRO008"]
+
+    def test_silent_on_basic_slices(self):
+        assert codes("y = x[:, :k]\n", NN) == []
+
+    def test_silent_on_argsort_value_with_plain_slice(self):
+        # Slicing the *result* of argsort is numpy-level bookkeeping.
+        src = "order = np.argsort(vals)[::-1][:dim]\n"
+        assert codes(src, NN) == []
+
+
+class TestRepro009Matmul1d:
+    def test_fires_on_flattened_operand(self):
+        assert codes("y = a @ b.reshape(-1)\n", NN) == ["REPRO009"]
+
+    def test_fires_on_flatten_call(self):
+        assert codes("y = a.flatten() @ b\n", NN) == ["REPRO009"]
+
+    def test_silent_on_matrix_reshape(self):
+        assert codes("y = a @ b.reshape(n, 1)\n", NN) == []
+
+
+class TestRepro010UnreplayableMethod:
+    def test_fires_on_pad_last(self):
+        assert codes("y = x.pad_last(2, 0)\n", NN) == ["REPRO010"]
+
+    def test_fires_on_unfold_last(self):
+        assert codes("y = x.unfold_last(3)\n", NN) == ["REPRO010"]
+
+    def test_silent_on_np_level_call(self):
+        src = "import numpy as np\nm = np.max(values)\n"
+        assert codes(src, NN) == []
+
+    def test_silent_outside_scope(self):
+        assert codes("y = x.pad_last(2, 0)\n", LIB) == []
+
+
+class TestRepro011ForwardConstant:
+    def test_fires_on_tensor_in_forward(self):
+        src = """
+            class Layer(Module):
+                def forward(self, x):
+                    return x * Tensor(make_mask(x.data))
+        """
+        assert codes(src, NN) == ["REPRO011"]
+
+    def test_silent_outside_forward(self):
+        src = """
+            class Layer(Module):
+                def __init__(self):
+                    super().__init__()
+                    self.mask = Tensor(np.eye(3))
+        """
+        assert codes(src, NN) == []
+
+    def test_silent_when_forward_annotates_trace_source(self):
+        src = """
+            class Layer(Module):
+                def forward(self, x):
+                    mask = Tensor(self._draw(x.shape))
+                    mask._trace_src = ("volatile", self._draw)
+                    return x * mask
+        """
+        assert codes(src, NN) == []
+
+
+class TestRepro012StackEligibility:
+    def test_fires_on_unsupported_optimizer(self):
+        src = "cfg = TrainerConfig(optimizer='sgd')\n"
+        assert codes(src) == ["REPRO012"]
+
+    def test_fires_on_unsupported_loss(self):
+        src = "cfg = TrainerConfig(loss='quantile')\n"
+        assert codes(src) == ["REPRO012"]
+
+    def test_silent_on_stackable_choices(self):
+        src = "cfg = TrainerConfig(optimizer='adam', loss='huber')\n"
+        assert codes(src) == []
+
+    def test_tests_are_exempt(self):
+        assert codes("cfg = TrainerConfig(optimizer='sgd')\n", TESTS) == []
+
+
 class TestNoqa:
     def test_bare_noqa_suppresses_everything(self):
         assert codes("t.data = x  # repro: noqa\n") == []
@@ -197,6 +306,34 @@ class TestNoqa:
     def test_multiple_codes(self):
         src = "np.random.seed(0); t.data = x  # repro: noqa[REPRO001, REPRO003]\n"
         assert codes(src) == []
+
+    def test_comma_list_suppresses_each_listed_code_only(self):
+        src = ("np.random.seed(0); t.data = x; risky()  "
+               "# repro: noqa[REPRO001,REPRO003]\n")
+        assert codes(src) == []
+        partial = ("np.random.seed(0); t.data = x  "
+                   "# repro: noqa[REPRO003]\n")
+        assert codes(partial) == ["REPRO001"]
+
+    # The unknown codes below are split across adjacent string literals
+    # so that linting THIS file does not itself trip the typo warning.
+    def test_unknown_code_warns(self):
+        with pytest.warns(UserWarning, match="unknown lint code"):
+            findings = codes("t.data = x  # repro: " "noqa[REPRO999]\n")
+        # A typo'd code suppresses nothing.
+        assert findings == ["REPRO003"]
+
+    def test_unknown_code_warning_names_code_and_line(self):
+        src = "x = 1\ny = 2  # repro: " "noqa[REPRO03]\n"
+        with pytest.warns(UserWarning, match=r":2: .*REPRO03"):
+            codes(src)
+
+    def test_known_codes_do_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            codes("t.data = x  # repro: noqa[REPRO003]\n")
 
 
 class TestDriver:
@@ -222,8 +359,7 @@ class TestDriver:
         assert isinstance(payload["line"], int)
 
     def test_every_rule_has_summary_and_function(self):
-        assert set(RULES) == {"REPRO001", "REPRO002", "REPRO003",
-                              "REPRO004", "REPRO005", "REPRO006"}
+        assert set(RULES) == {f"REPRO{i:03d}" for i in range(1, 13)}
         for summary, func in RULES.values():
             assert summary and callable(func)
 
@@ -275,3 +411,17 @@ def test_repo_tree_is_lint_clean():
     """Acceptance criterion: ``repro lint src/ tests/`` exits 0."""
     findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_design_rule_table_in_sync():
+    """DESIGN.md's rule table is generated from RULES — no doc drift."""
+    from repro.analysis.lint import render_rule_table
+
+    text = (REPO_ROOT / "DESIGN.md").read_text()
+    begin, end = "<!-- RULES:BEGIN -->", "<!-- RULES:END -->"
+    assert begin in text and end in text
+    embedded = text.split(begin)[1].split(end)[0].strip()
+    assert embedded == render_rule_table(), (
+        "DESIGN.md rule table is stale; regenerate with "
+        "python -c \"from repro.analysis.lint import render_rule_table; "
+        "print(render_rule_table())\"")

@@ -77,6 +77,29 @@ class TestReportWriters:
         assert mtgnn["Seq1_failed"] == "0"
         assert mtgnn["Seq5_failed"] == "0"
 
+    def test_csv_fallback_columns_are_opt_in(self, rows, tmp_path):
+        reasons = {("MTGNN", "Seq1"): "not stacked: no forward [2/2]"}
+        path = write_table_csv(tmp_path / "t.csv", rows, ["Seq1", "Seq5"],
+                               fallback_reasons=reasons)
+        with path.open() as handle:
+            records = list(csv.DictReader(handle))
+        mtgnn = next(r for r in records if r["model"] == "MTGNN")
+        assert mtgnn["Seq1_fallback_reason"] == reasons[("MTGNN", "Seq1")]
+        assert mtgnn["Seq5_fallback_reason"] == ""  # no diagnostic
+        lstm = next(r for r in records if r["model"] == "LSTM")
+        assert lstm["Seq1_fallback_reason"] == ""
+
+    def test_csv_default_is_byte_identical_without_reasons(self, rows,
+                                                           tmp_path):
+        # CI byte-compares CSVs from runs with and without the JIT/stacked
+        # fast paths; the diagnostics column must never appear by default.
+        plain = write_table_csv(tmp_path / "plain.csv", rows,
+                                ["Seq1", "Seq5"])
+        explicit = write_table_csv(tmp_path / "none.csv", rows,
+                                   ["Seq1", "Seq5"], fallback_reasons=None)
+        assert plain.read_bytes() == explicit.read_bytes()
+        assert b"fallback_reason" not in plain.read_bytes()
+
     def test_markdown_marks_best(self, rows, tmp_path):
         path = write_table_markdown(tmp_path / "t.md", "Table X", rows,
                                     ["Seq1", "Seq5"])

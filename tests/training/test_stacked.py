@@ -77,7 +77,7 @@ def assert_identical(serial, stacked):
 
 
 class TestBitIdentity:
-    @pytest.mark.parametrize("model", ["lstm", "a3tgcn"])
+    @pytest.mark.parametrize("model", ["lstm", "tgcn", "a3tgcn"])
     def test_matches_serial_bitwise(self, model):
         # Ragged lengths split the cohort into several stacks; dropout is
         # active at the model default, exercising per-lane RNG streams.
@@ -85,7 +85,7 @@ class TestBitIdentity:
         serial, stacked = run_both(cohort, model, TrainerConfig(epochs=4))
         assert_identical(serial, stacked)
 
-    @pytest.mark.parametrize("model", ["lstm", "a3tgcn"])
+    @pytest.mark.parametrize("model", ["lstm", "tgcn", "a3tgcn"])
     def test_seq_len_one(self, model):
         # seq_len=1 leaves A3TGCN's attention parameter unused (grad None)
         # — the stacked optimizer must replay that pattern too.
@@ -153,7 +153,7 @@ class TestJitReplay:
                                       parallel=parallel, **kw))
         return results
 
-    @pytest.mark.parametrize("model", ["lstm", "a3tgcn"])
+    @pytest.mark.parametrize("model", ["lstm", "tgcn", "a3tgcn"])
     def test_replay_matches_eager_stack(self, model):
         # Dropout active at the model default: the plan refills each
         # lane's mask from its solo RNG stream every replayed epoch.
