@@ -1,0 +1,246 @@
+"""Benchmark of the serving layer: batched inference vs sequential.
+
+Builds one cohort of per-individual forecasters (registry models with
+per-individual init and graphs — training is irrelevant to forward-pass
+throughput, so the weights stay at their seeded initialization), stores
+them as serving artifacts, and drives a closed-loop load generator
+against :class:`repro.serving.InferenceEngine` at batch sizes
+K ∈ {1, 8, 32, full cohort}, reporting p50/p99 request latency and
+forecasts/sec per level.
+
+The baseline is the same engine with batching disabled
+(``use_stacked=False``, ``max_batch_size=1``) — one solo ``predict`` per
+request, the pre-PR-9 serving story.  Two assertions ride along:
+
+* **bit identity** (unconditional): every batched forecast must equal
+  the individual's in-process solo ``predict`` bit-for-bit, at every K.
+* **speedup**: the ISSUE target is >=3x forecasts/sec at K=32 over the
+  sequential baseline.  Like ``bench_stacked``/``bench_jit``, the target
+  is always *reported* and enforced only under ``REPRO_BENCH_STRICT=1``;
+  the pytest entry point asserts a conservative floor instead, since how
+  far past 3x a host lands depends on how dispatch-bound the solo
+  forwards are.
+
+Run standalone for the CI smoke: ``python benchmarks/bench_serving.py
+--quick`` (small cohort, few rounds, bit-identity + timing report, no
+strict target).  Both entry points write ``BENCH_serving.json`` at the
+repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+SPEEDUP_FLOOR = 1.5    # batched vs sequential forecasts/sec, any host
+SPEEDUP_TARGET = 3.0   # ISSUE target, asserted only under REPRO_BENCH_STRICT
+SEQ_LEN = 4
+NUM_VARIABLES = 6
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _make_artifacts(model_name: str, count: int, dtype: str):
+    from repro.autodiff import set_default_dtype
+    from repro.models import create_model
+    from repro.serving import CohortArtifact
+
+    set_default_dtype(dtype)
+    rng = np.random.default_rng(0)
+    artifacts = []
+    for i in range(count):
+        adjacency = None
+        if model_name != "lstm":
+            raw = rng.random((NUM_VARIABLES, NUM_VARIABLES))
+            adjacency = (raw + raw.T) / 2
+            np.fill_diagonal(adjacency, 0.0)
+        model = create_model(model_name, NUM_VARIABLES, SEQ_LEN,
+                             adjacency=adjacency, seed=i)
+        artifacts.append(CohortArtifact(
+            identifier=f"p{i:03d}", model_name=model_name, seq_len=SEQ_LEN,
+            num_variables=NUM_VARIABLES, dtype=dtype,
+            state=model.state_dict(), adjacency=adjacency,
+            window_tail=rng.normal(size=(SEQ_LEN, NUM_VARIABLES)),
+            config_digest="bench"))
+    return artifacts
+
+
+def _expected_forecasts(shard) -> dict:
+    """In-process solo ``predict`` per individual — the bitwise reference."""
+    from repro.autodiff import set_default_dtype
+
+    expected = {}
+    for identifier, artifact in shard.artifacts.items():
+        set_default_dtype(shard.dtype)
+        model = shard.materialize(identifier)
+        window = np.asarray(artifact.window_tail,
+                            dtype=np.dtype(shard.dtype))
+        expected[identifier] = model.predict(window[None])[0]
+    return expected
+
+
+def _drive(engine, identifiers, rounds: int, expected: dict,
+           per_request_timing: bool) -> dict:
+    """Closed-loop load generator: ``rounds`` waves over ``identifiers``.
+
+    Every outcome is checked bit-for-bit against the in-process
+    reference.  In a closed loop each request's latency is the wall
+    clock of the wave that served it (all requests of a wave complete
+    together); the sequential baseline times each request alone.
+    """
+    def wave():
+        outcomes = []
+        for identifier in identifiers:
+            outcomes += engine.submit(identifier)
+        outcomes += engine.flush()
+        return outcomes
+
+    def check(outcomes):
+        assert len(outcomes) == len(identifiers)
+        for outcome in outcomes:
+            assert not hasattr(outcome, "kind"), f"request failed: {outcome}"
+            np.testing.assert_array_equal(
+                outcome.prediction, expected[outcome.identifier],
+                err_msg=f"served forecast for {outcome.identifier} diverged "
+                        f"from in-process predict")
+
+    check(wave())  # warmup: populate model/stack caches, verify bitwise
+    latencies = []
+    start = time.perf_counter()
+    for _ in range(rounds):
+        if per_request_timing:
+            outcomes = []
+            for identifier in identifiers:
+                t0 = time.perf_counter()
+                served = engine.submit(identifier)
+                latencies.append(time.perf_counter() - t0)
+                outcomes += served
+            outcomes += engine.flush()
+        else:
+            t0 = time.perf_counter()
+            outcomes = wave()
+            latencies.extend([time.perf_counter() - t0] * len(identifiers))
+        check(outcomes)
+    total = time.perf_counter() - start
+    latencies = np.asarray(latencies)
+    served = rounds * len(identifiers)
+    return {
+        "requests": served,
+        "batched_requests": engine.stats["batched"],
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "throughput_rps": served / total,
+    }
+
+
+def run_bench(model: str = "lstm", num_individuals: int = 64,
+              rounds: int = 30, dtype: str = "float64",
+              strict: bool | None = None) -> dict:
+    from repro.autodiff import get_default_dtype, set_default_dtype
+    from repro.serving import InferenceEngine, build_shards
+
+    if strict is None:
+        strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    previous = get_default_dtype()
+    try:
+        artifacts = _make_artifacts(model, num_individuals, dtype)
+        [shard] = build_shards(artifacts)
+        expected = _expected_forecasts(shard)
+    finally:
+        set_default_dtype(previous)
+    identifiers = list(shard.artifacts)
+
+    levels = sorted({k for k in (1, 8, 32, num_individuals)
+                     if k <= num_individuals})
+    batched = {}
+    for k in levels:
+        engine = InferenceEngine(shard, max_batch_size=k, max_linger=60.0)
+        batched[f"K{k}"] = _drive(engine, identifiers[:k], rounds, expected,
+                                  per_request_timing=False)
+    pivot = 32 if 32 in levels else max(levels)
+    sequential_engine = InferenceEngine(shard, max_batch_size=1,
+                                        max_linger=0.0, use_stacked=False)
+    sequential = _drive(sequential_engine, identifiers[:pivot], rounds,
+                        expected, per_request_timing=True)
+
+    speedup = batched[f"K{pivot}"]["throughput_rps"] \
+        / sequential["throughput_rps"]
+    report = {
+        "model": model,
+        "num_individuals": num_individuals,
+        "rounds": rounds,
+        "dtype": dtype,
+        "seq_len": SEQ_LEN,
+        "num_variables": NUM_VARIABLES,
+        "sequential": sequential,
+        "batched": batched,
+        "speedup_pivot": f"K{pivot}",
+        "speedup_vs_sequential": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_met": speedup >= SPEEDUP_TARGET,
+        "bit_identical": True,  # asserted on every outcome above
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nserving sweep: {model}, N={num_individuals}, {rounds} rounds, "
+          f"{dtype}")
+    print(f"  {'level':12s} {'p50 ms':>8s} {'p99 ms':>8s} "
+          f"{'forecasts/s':>12s}")
+    rows = [("sequential", sequential)] + \
+        [(label, stats) for label, stats in batched.items()]
+    for label, stats in rows:
+        print(f"  {label:12s} {stats['p50_ms']:8.2f} {stats['p99_ms']:8.2f} "
+              f"{stats['throughput_rps']:12.1f}")
+    met = "met" if report["target_met"] else "NOT met on this host"
+    print(f"  target >= {SPEEDUP_TARGET:.0f}x over sequential at K{pivot}: "
+          f"x{speedup:.2f} ({met})")
+    print(f"  bit identity vs in-process predict: OK "
+          f"({sum(s['requests'] for _, s in rows)} forecasts checked)")
+    print(f"  wrote {RESULT_PATH.name}")
+    if strict:
+        assert speedup >= SPEEDUP_TARGET, \
+            f"strict mode: x{speedup:.2f} < x{SPEEDUP_TARGET:.0f}"
+    return report
+
+
+def test_serving_sweep_lstm():
+    report = run_bench("lstm", num_individuals=32, rounds=10, strict=False)
+    assert report["speedup_vs_sequential"] >= SPEEDUP_FLOOR, \
+        f"batched serving only x{report['speedup_vs_sequential']:.2f} " \
+        f"over sequential"
+
+
+def test_serving_sweep_a3tgcn():
+    # Graph-model shard: stacked adjacency path; bit-identity is the
+    # assertion, timing is reported (wide solo ops stack for less).
+    run_bench("a3tgcn", num_individuals=16, rounds=5, strict=False)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: small cohort, few rounds, "
+                             "bit-identity + timing report only")
+    parser.add_argument("--model", choices=("lstm", "tgcn", "a3tgcn"),
+                        default="lstm")
+    parser.add_argument("--individuals", type=int, default=None, metavar="N",
+                        help="cohort size (default: 64, or 16 with --quick)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="load-generator waves per level (default: 30, "
+                             "or 5 with --quick)")
+    parser.add_argument("--dtype", choices=("float32", "float64"),
+                        default="float64")
+    args = parser.parse_args(argv)
+    individuals = args.individuals or (16 if args.quick else 64)
+    rounds = args.rounds or (5 if args.quick else 30)
+    run_bench(args.model, num_individuals=individuals, rounds=rounds,
+              dtype=args.dtype, strict=False if args.quick else None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

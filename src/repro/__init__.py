@@ -10,8 +10,18 @@ The package is layered bottom-up:
 * :mod:`repro.models` — LSTM, A3TGCN, ASTGCN, MTGNN forecasters
 * :mod:`repro.training` / :mod:`repro.evaluation` — personalized training, MSE
 * :mod:`repro.experiments` — Experiments A/B/C (Table II, Table III, Fig. 3)
+* :mod:`repro.serving` — versioned model store + batched forecast serving
+
+The stable programmatic surface is :mod:`repro.api` (re-exported here):
+``fit_cohort`` / ``CohortHandle`` / ``load`` cover fit → save → load →
+forecast; everything deeper is importable but may be rearranged between
+minor versions.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+from . import api
+from .api import CohortHandle, ModelStore, fit_cohort, load
+
+__all__ = ["__version__", "api", "fit_cohort", "load", "CohortHandle",
+           "ModelStore"]

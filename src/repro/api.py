@@ -1,0 +1,188 @@
+"""Stable public facade for fitting, persisting and serving cohorts.
+
+This module is the supported entry point for programmatic users.  Its
+contract (see DESIGN.md "Facade stability"): everything in ``__all__``
+here keeps its name, call shape and semantics across minor versions;
+the modules underneath (``repro.training``, ``repro.serving``, ...)
+remain importable for power users but may be rearranged.
+
+The whole lifecycle is four calls::
+
+    import repro
+
+    handle = repro.fit_cohort(dataset, "a3tgcn", seq_len=4)
+    version = handle.save("runs/store")           # content-addressed
+    handle = repro.load("runs/store", version)    # any process, later
+    forecast = handle.forecast("participant-03")  # next-step prediction
+
+``fit_cohort`` runs the paper's per-individual training loop (one model
++ one graph per person) with weight export switched on; the returned
+:class:`CohortHandle` serves forecasts through the batched inference
+engine, bit-identical to each individual's in-process ``predict``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .autodiff import get_default_dtype
+from .data.splits import split_boundary
+from .graphs.adjacency import GraphMethod
+from .serving.engine import InferenceEngine
+from .serving.store import CohortArtifact, ModelStore, build_shards
+from .training.personalized import cell_config_digest, run_cohort
+
+__all__ = ["fit_cohort", "load", "CohortHandle", "ModelStore"]
+
+
+class CohortHandle:
+    """A fitted cohort: per-individual models behind one forecast front.
+
+    Obtained from :func:`fit_cohort` (fresh fit, in memory) or
+    :func:`load` (from a :class:`~repro.serving.store.ModelStore`).  The
+    handle owns a lazily built
+    :class:`~repro.serving.engine.InferenceEngine`; ``forecast`` routes
+    through it, and ``engine()`` exposes it for batched/queued use.
+    """
+
+    def __init__(self, shards, *, version: str = "unsaved", results=None):
+        if not shards:
+            raise ValueError("CohortHandle needs at least one shard")
+        self.shards = list(shards)
+        #: Store version these shards came from (``"unsaved"`` for a
+        #: fresh fit that has not been persisted yet).
+        self.version = version
+        #: The fit's :class:`~repro.training.IndividualResult` list when
+        #: this handle came from :func:`fit_cohort` (``None`` after
+        #: :func:`load` — scores are not persisted, weights are).
+        self.results = results
+        self._engine: InferenceEngine | None = None
+
+    # -- serving -------------------------------------------------------
+    @property
+    def individuals(self) -> "list[str]":
+        """Identifiers this handle can forecast for, sorted."""
+        seen = set()
+        for shard in self.shards:
+            seen.update(shard.artifacts)
+        return sorted(seen)
+
+    def engine(self, **kwargs) -> InferenceEngine:
+        """The handle's engine (built on first use; kwargs rebuild it)."""
+        if kwargs:
+            self._engine = InferenceEngine(self.shards, **kwargs)
+        elif self._engine is None:
+            self._engine = InferenceEngine(self.shards)
+        return self._engine
+
+    def forecast(self, individual: str, window=None, *,
+                 model_name: str | None = None) -> np.ndarray:
+        """Next-step forecast ``(num_variables,)`` for one individual.
+
+        ``window`` is a ``(seq_len, num_variables)`` array of the most
+        recent observations; omitted, the individual's stored tail (the
+        last rows seen at fit time) is used.  Bit-identical to calling
+        ``predict`` on the individual's own model in-process.
+        """
+        return self.engine().forecast(individual, window,
+                                      model_name=model_name)
+
+    # -- persistence ---------------------------------------------------
+    def save(self, store: "ModelStore | str | Path", *,
+             version: str | None = None, metadata: dict | None = None) -> str:
+        """Persist every artifact to ``store``; returns the version id."""
+        if not isinstance(store, ModelStore):
+            store = ModelStore(store)
+        artifacts = [artifact for shard in self.shards
+                     for artifact in shard.artifacts.values()]
+        saved = store.save_cohort(artifacts, version=version,
+                                  metadata=metadata)
+        self.version = saved
+        return saved
+
+
+def load(store: "ModelStore | str | Path", version: str | None = None, *,
+         strict: bool = False,
+         expected_config_digest: str | None = None) -> CohortHandle:
+    """Load a saved cohort version (latest by default) for serving.
+
+    ``strict=True`` turns corrupt-entry degradation warnings into
+    errors; ``expected_config_digest`` rejects version skew — artifacts
+    trained under a different config than the caller expects.
+    """
+    if not isinstance(store, ModelStore):
+        store = ModelStore(store)
+    shards = store.load_cohort(version, strict=strict,
+                               expected_config_digest=expected_config_digest)
+    return CohortHandle(shards, version=shards[0].version)
+
+
+def fit_cohort(dataset, model_name: str = "a3tgcn", seq_len: int = 4, *,
+               graph_method: str = GraphMethod.CORRELATION,
+               gdt: float = 0.2,
+               trainer_config=None, model_config=None,
+               train_fraction: float = 0.7, seed: int = 0,
+               graph_kwargs: dict | None = None,
+               parallel=None) -> CohortHandle:
+    """Fit one model per individual and return a servable handle.
+
+    Runs the paper's personalized loop — each individual gets their own
+    model trained on the first ``train_fraction`` of their recording,
+    with their own graph (``graph_method`` thresholded at graph density
+    ``gdt``) built from the training segment only.  Weights, graphs,
+    normalization stats and the last observed window are captured as
+    serving artifacts.
+
+    Any registry model works, including the closed-form baselines (VAR,
+    naive-mean).  ``parallel`` accepts a
+    :class:`~repro.training.ParallelConfig` for multi-process fitting.
+    Random-graph fits keep a single repeat here: a serving artifact must
+    hold *the* weights being served, not an average over repeats.
+    """
+    results = run_cohort(dataset, model_name, seq_len,
+                         graph_method=graph_method, keep_fraction=gdt,
+                         trainer_config=trainer_config,
+                         model_config=model_config,
+                         train_fraction=train_fraction, base_seed=seed,
+                         num_random_repeats=1, graph_kwargs=graph_kwargs,
+                         export_state=True, parallel=parallel)
+    by_identifier = {individual.identifier: individual
+                     for individual in dataset}
+    dtype = np.dtype(get_default_dtype()).name
+    digest = cell_config_digest(train_fraction, graph_kwargs,
+                                trainer_config, model_config)
+    artifacts = []
+    for result in results:
+        state = getattr(result, "state", None)
+        if state is None:
+            # CellFailure slots (on_error="collect") or stateless results
+            # cannot be served; the handle simply does not cover them.
+            continue
+        individual = by_identifier[result.identifier]
+        boundary = split_boundary(individual.num_time_points, train_fraction)
+        train_values = np.asarray(individual.values[:boundary], dtype=float)
+        artifacts.append(CohortArtifact(
+            identifier=result.identifier,
+            model_name=result.model_name,
+            seq_len=int(seq_len),
+            num_variables=int(individual.num_variables),
+            dtype=dtype,
+            state=state,
+            adjacency=result.static_graph,
+            graph_method=graph_method,
+            gdt=float(gdt),
+            seed=int(seed),
+            norm_mean=train_values.mean(axis=0),
+            norm_std=train_values.std(axis=0),
+            window_tail=np.asarray(individual.values[-seq_len:],
+                                   dtype=np.dtype(dtype)),
+            model_config=model_config,
+            config_digest=digest,
+        ))
+    if not artifacts:
+        raise RuntimeError(
+            "fit_cohort produced no servable artifacts (every cell failed "
+            "or returned no state)")
+    return CohortHandle(build_shards(artifacts), results=results)

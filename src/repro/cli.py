@@ -43,6 +43,11 @@ Examples
             --explain-fallbacks               # per-cell summary of why
                                               # individuals fell off the
                                               # JIT/stacked fast paths
+    ema-gnn export  --store runs/store        # fit a cohort and persist it
+                                              # to a versioned model store
+    ema-gnn serve   --store runs/store --demo # serve batched forecasts over
+                                              # JSONL (bit-identical to
+                                              # in-process predict)
     ema-gnn profile --target table2           # dedicated profiling run
     ema-gnn lint src/ tests/                  # repo-specific static analysis
     ema-gnn check                             # static fast-path verdicts
@@ -64,7 +69,7 @@ import time
 from .experiments import (PROFILES, make_dataset, run_experiment_a,
                           run_experiment_b, run_experiment_c, scenario_grid,
                           TABLE1)
-from .training import ParallelConfig
+from .training import ExecutionPolicy, FaultPolicy, ParallelConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -228,6 +233,66 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--out", default="profile", metavar="DIR",
                       help="directory for trace.json + profile.json "
                            "(default: ./profile)")
+    export = sub.add_parser(
+        "export", help="fit a cohort and persist it to a versioned model "
+                       "store for serving")
+    export.add_argument("--store", required=True, metavar="DIR",
+                        help="model store directory (created if missing)")
+    export.add_argument("--model", default="a3tgcn", metavar="NAME",
+                        help="registry model to fit (default: a3tgcn)")
+    export.add_argument("--seq-len", type=_positive_int, default=4,
+                        metavar="L", help="input window length (default: 4)")
+    export.add_argument("--graph-method", default="correlation",
+                        help="graph construction method (default: "
+                             "correlation)")
+    export.add_argument("--gdt", type=_positive_float, default=0.2,
+                        metavar="FRACTION",
+                        help="graph density threshold (default: 0.2)")
+    export.add_argument("--epochs", type=_positive_int, default=None,
+                        metavar="N",
+                        help="override the trainer's epoch budget")
+    export.add_argument("--version", default=None, metavar="ID",
+                        help="version id to save under (default: content-"
+                             "derived)")
+    export.add_argument("--profile", choices=sorted(PROFILES),
+                        default="tiny",
+                        help="synthetic cohort scale (default: tiny)")
+    export.add_argument("--seed", type=int, default=None,
+                        help="override the profile's seed")
+    export.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N", help="worker processes for the fit")
+    export.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    serve = sub.add_parser(
+        "serve", help="serve forecasts from a model store over JSONL "
+                      "(stdin/file in, stdout out)")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="model store directory to serve from")
+    serve.add_argument("--version", default=None, metavar="ID",
+                       help="store version to serve (default: latest)")
+    serve.add_argument("--requests", default=None, metavar="FILE",
+                       help="JSONL request file ('-' for stdin)")
+    serve.add_argument("--demo", action="store_true",
+                       help="serve one stored-tail request per individual "
+                            "instead of reading --requests (smoke test)")
+    serve.add_argument("--out", default=None, metavar="FILE",
+                       help="write JSONL responses here (default: stdout)")
+    serve.add_argument("--max-batch-size", type=_positive_int, default=32,
+                       metavar="K",
+                       help="micro-batch flush threshold (default: 32)")
+    serve.add_argument("--max-linger", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="max time a request may wait for batchmates "
+                            "(default: 0.05)")
+    serve.add_argument("--timeout", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline (default: none)")
+    serve.add_argument("--no-stacked", action="store_true",
+                       help="disable the batched stacked path (eager "
+                            "per-request inference only)")
+    serve.add_argument("--strict", action="store_true",
+                       help="fail on corrupt store entries instead of "
+                            "degrading to the loadable subset")
     lint = sub.add_parser(
         "lint", help="repo-specific static analysis (REPROxxx rules)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
@@ -472,16 +537,19 @@ def _parallel(args):
                 else f", eta {int(eta) // 60:02d}:{int(eta) % 60:02d}"
             print(f"    cell {done}/{total}{eta_text} — {label}",
                   file=sys.stderr)
-    return ParallelConfig(jobs=args.jobs,
-                          checkpoint=getattr(args, "checkpoint", None),
-                          progress=cell_progress,
-                          retries=getattr(args, "retries", 0),
-                          timeout=getattr(args, "cell_timeout", None),
-                          on_error=getattr(args, "on_error", "raise"),
-                          fault_injector=_injector(
-                              getattr(args, "inject_faults", None)),
-                          backend=getattr(args, "backend", "process"),
-                          stack_size=getattr(args, "stack_size", 32))
+    return ParallelConfig(
+        checkpoint=getattr(args, "checkpoint", None),
+        progress=cell_progress,
+        execution=ExecutionPolicy(
+            jobs=args.jobs,
+            backend=getattr(args, "backend", "process"),
+            stack_size=getattr(args, "stack_size", 32)),
+        faults=FaultPolicy(
+            retries=getattr(args, "retries", 0),
+            timeout=getattr(args, "cell_timeout", None),
+            on_error=getattr(args, "on_error", "raise"),
+            fault_injector=_injector(
+                getattr(args, "inject_faults", None))))
 
 
 def _collect_failures(result) -> list:
@@ -506,9 +574,92 @@ def _report_failures(result) -> None:
         print(f"  {failure}", file=sys.stderr)
 
 
+def _run_export(args) -> int:
+    """``ema-gnn export``: fit the synthetic cohort, persist for serving."""
+    from . import api
+    from .training import TrainerConfig
+
+    config = PROFILES[args.profile]
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    dataset = make_dataset(config)
+    trainer_config = None
+    if args.epochs is not None:
+        trainer_config = TrainerConfig(epochs=args.epochs)
+    parallel = None
+    if args.jobs > 1:
+        parallel = ParallelConfig(execution=ExecutionPolicy(jobs=args.jobs))
+    if not args.quiet:
+        print(f"fitting {args.model} on {len(dataset)} individuals "
+              f"(profile={args.profile}, seq_len={args.seq_len})...",
+              file=sys.stderr)
+    handle = api.fit_cohort(dataset, args.model, args.seq_len,
+                            graph_method=args.graph_method, gdt=args.gdt,
+                            trainer_config=trainer_config,
+                            seed=config.seed, parallel=parallel)
+    version = handle.save(args.store, version=args.version,
+                          metadata={"profile": args.profile,
+                                    "model": args.model})
+    print(f"exported {len(handle.individuals)} individuals to "
+          f"{args.store} as version {version}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    """``ema-gnn serve``: JSONL forecasts out of a model store."""
+    import json
+    from pathlib import Path
+
+    from .serving import ForecastService, StoreError
+
+    try:
+        service = ForecastService(args.store, args.version,
+                                  max_batch_size=args.max_batch_size,
+                                  max_linger=args.max_linger,
+                                  use_stacked=not args.no_stacked,
+                                  default_timeout=args.timeout,
+                                  strict=args.strict)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.demo:
+        lines = [json.dumps(request)
+                 for request in service.demo_requests()]
+    elif args.requests is None:
+        print("error: pass --requests FILE ('-' for stdin) or --demo",
+              file=sys.stderr)
+        return 2
+    elif args.requests == "-":
+        lines = sys.stdin
+    else:
+        lines = Path(args.requests).read_text().splitlines()
+    results = service.run(lines)
+    rendered = "\n".join(json.dumps(result) for result in results)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n" if rendered else "")
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif rendered:
+        print(rendered)
+    ok = sum(1 for result in results if result.get("ok"))
+    batched = sum(1 for result in results
+                  if result.get("ok") and result.get("batched"))
+    print(f"served {ok}/{len(results)} requests "
+          f"(version {service.version}, {batched} batched)",
+          file=sys.stderr)
+    return 0 if ok == len(results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "export":
+        return _run_export(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "lint":
         from .analysis.cli import run as lint_run

@@ -75,6 +75,19 @@ class VARForecaster(Forecaster):
                                              self.num_variables)
         return np.transpose(per_lag, (0, 2, 1))
 
+    def get_extra_state(self) -> dict:
+        """Fitted closed-form state, so checkpoints/the store cover VAR."""
+        return {"coefficients": self._coefficients,
+                "intercept": self._intercept,
+                "fitted": np.asarray(1.0 if self._fitted else 0.0)}
+
+    def set_extra_state(self, state: dict) -> None:
+        self._coefficients = np.asarray(state["coefficients"],
+                                        dtype=np.float64)  # repro: noqa[REPRO005] — matches the float64 fit
+        self._intercept = np.asarray(state["intercept"],
+                                     dtype=np.float64)  # repro: noqa[REPRO005] — matches the float64 fit
+        self._fitted = bool(np.asarray(state["fitted"]))
+
     def forward(self, inputs: Tensor) -> Tensor:
         self._check_input(inputs)
         flat = inputs.data.reshape(inputs.shape[0], -1)
@@ -102,6 +115,13 @@ class NaiveMeanForecaster(Forecaster):
     def fit_windows(self, windows: WindowSet) -> "NaiveMeanForecaster":
         self._mean = windows.targets.astype(np.float64).mean(axis=0)  # repro: noqa[REPRO005] — exact mean
         return self
+
+    def get_extra_state(self) -> dict:
+        """Fitted training mean, so checkpoints/the store cover the baseline."""
+        return {"mean": self._mean}
+
+    def set_extra_state(self, state: dict) -> None:
+        self._mean = np.asarray(state["mean"], dtype=np.float64)  # repro: noqa[REPRO005] — matches the float64 fit
 
     def forward(self, inputs: Tensor) -> Tensor:
         self._check_input(inputs)

@@ -79,6 +79,11 @@ class Module:
         for child in self._modules.values():
             yield from child.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
     def num_parameters(self) -> int:
         """Total number of trainable scalars."""
         return sum(p.size for p in self.parameters())
@@ -101,25 +106,93 @@ class Module:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
+    def get_extra_state(self) -> "dict[str, np.ndarray] | None":
+        """Non-parameter arrays that belong in the state dict, or ``None``.
+
+        Closed-form models (VAR, naive-mean) hold their fitted state in
+        plain numpy attributes rather than :class:`Parameter`\\ s;
+        overriding this (plus :meth:`set_extra_state`) lets that state
+        ride :meth:`state_dict` / :meth:`load_state_dict` — and therefore
+        the serving model store — alongside real parameters.  Keys must be
+        stable across instances of the same architecture.
+        """
+        return None
+
+    def set_extra_state(self, state: "dict[str, np.ndarray]") -> None:
+        """Restore the arrays produced by :meth:`get_extra_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares extra state but does not "
+            f"implement set_extra_state")
+
+    def _extra_state_entries(self) -> "list[tuple[str, Module, dict]]":
+        """``(flat-key prefix, owner module, extra dict)`` per declaring module."""
+        entries = []
+        for prefix, module in self.named_modules():
+            extra = module.get_extra_state()
+            if extra is not None:
+                entries.append((f"{prefix}_extra_state.", module, extra))
+        return entries
+
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
-        """Copy of every parameter array, keyed by dotted path."""
-        return OrderedDict((name, p.data.copy()) for name, p in self.named_parameters())
+        """Copy of every parameter array, keyed by dotted path.
+
+        Modules that declare extra state (:meth:`get_extra_state`) have it
+        flattened in under ``<prefix>_extra_state.<key>`` — still a flat
+        ``str -> ndarray`` mapping, so checkpoints and the serving store
+        serialize every model the same way.
+        """
+        out = OrderedDict((name, p.data.copy())
+                          for name, p in self.named_parameters())
+        for key_prefix, _module, extra in self._extra_state_entries():
+            for key, value in extra.items():
+                out[f"{key_prefix}{key}"] = np.asarray(value).copy()
+        return out
 
     def load_state_dict(self, state: dict) -> None:
-        """Load parameter arrays produced by :meth:`state_dict`."""
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        Raises a ``KeyError`` naming the missing/unexpected entries, and a
+        ``ValueError`` naming the offending parameter path on any
+        per-parameter shape/dtype/conversion problem — never a bare numpy
+        error from deep inside the assignment (the serving store's
+        integrity check depends on attributable errors).
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        extra_groups = self._extra_state_entries()
+        expected_extra = {f"{key_prefix}{key}"
+                          for key_prefix, _module, extra in extra_groups
+                          for key in extra}
+        missing = (set(own) | expected_extra) - set(state)
+        unexpected = set(state) - set(own) - expected_extra
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
         with no_grad():
             for name, param in own.items():
-                value = np.asarray(state[name])
+                try:
+                    value = np.asarray(state[name])
+                except (ValueError, TypeError) as error:
+                    raise ValueError(
+                        f"parameter {name!r}: state value is not convertible "
+                        f"to an array ({type(error).__name__}: {error})"
+                    ) from error
+                if value.dtype.kind not in "fiub":
+                    raise ValueError(
+                        f"parameter {name!r}: state value has non-numeric "
+                        f"dtype {value.dtype} (ragged or mixed-type input?)")
                 if value.shape != param.shape:
                     raise ValueError(f"shape mismatch for {name}: "
                                      f"{value.shape} vs {param.shape}")
-                param.copy_(value)
+                try:
+                    param.copy_(value)
+                except (ValueError, TypeError) as error:
+                    raise ValueError(
+                        f"parameter {name!r}: cannot assign state value of "
+                        f"dtype {value.dtype} to parameter of dtype "
+                        f"{param.dtype} ({error})") from error
+            for key_prefix, module, extra in extra_groups:
+                module.set_extra_state(
+                    {key: state[f"{key_prefix}{key}"] for key in extra})
 
     # ------------------------------------------------------------------
     # Invocation

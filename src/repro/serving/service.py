@@ -1,0 +1,122 @@
+"""Request/response front end over the inference engine.
+
+The CLI's ``ema-gnn serve`` is deliberately transport-free: the repo has
+no web framework (and must not grow one), so the service speaks JSON
+Lines over files/stdio — one request object per line in, one outcome
+object per line out.  Anything that can write JSONL (a socket shim, a
+cron job, a test) can drive it, and the batching/timeout/isolation
+semantics live in :mod:`repro.serving.engine` where they are unit-tested
+without any I/O.
+
+Request object::
+
+    {"id": "r1", "individual": "p03", "window": [[...], ...],
+     "model": "a3tgcn", "timeout": 0.5}
+
+``window``/``model``/``timeout``/``id`` are optional — a missing window
+serves the artifact's stored ``window_tail`` (the "what's next for this
+individual right now?" query).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .engine import InferenceEngine, RequestFailure
+from .store import ModelStore
+
+__all__ = ["ForecastService", "outcome_to_dict"]
+
+
+def outcome_to_dict(outcome) -> dict:
+    """JSON-ready rendering of an engine outcome (response or failure)."""
+    if isinstance(outcome, RequestFailure):
+        return {"id": outcome.request_id, "individual": outcome.identifier,
+                "ok": False, "kind": outcome.kind,
+                "error_type": outcome.error_type, "message": outcome.message,
+                "elapsed": outcome.elapsed}
+    return {"id": outcome.request_id, "individual": outcome.identifier,
+            "ok": True, "model": outcome.model_name,
+            "prediction": np.asarray(outcome.prediction).tolist(),
+            "batched": outcome.batched, "elapsed": outcome.elapsed}
+
+
+class ForecastService:
+    """JSONL forecast service bound to one store version."""
+
+    def __init__(self, store: "ModelStore | str | Path",
+                 version: str | None = None, *, max_batch_size: int = 32,
+                 max_linger: float = 0.05, use_stacked: bool = True,
+                 default_timeout: float | None = None, strict: bool = False):
+        if not isinstance(store, ModelStore):
+            store = ModelStore(store)
+        self.store = store
+        self.shards = store.load_cohort(version, strict=strict)
+        self.version = self.shards[0].version
+        self.default_timeout = default_timeout
+        self.engine = InferenceEngine(self.shards,
+                                      max_batch_size=max_batch_size,
+                                      max_linger=max_linger,
+                                      use_stacked=use_stacked)
+
+    def handle(self, request: dict) -> "list[dict]":
+        """Submit one parsed request; returns any outcomes that flushed."""
+        if not isinstance(request, dict):
+            return [{"id": None, "individual": None, "ok": False,
+                     "kind": "exception", "error_type": "TypeError",
+                     "message": f"request must be a JSON object, got "
+                                f"{type(request).__name__}"}]
+        timeout = request.get("timeout", self.default_timeout)
+        outcomes = self.engine.submit(
+            request.get("individual"),
+            window=request.get("window"),
+            model_name=request.get("model"),
+            timeout=timeout,
+            request_id=request.get("id"))
+        return [outcome_to_dict(outcome) for outcome in outcomes]
+
+    def run(self, lines) -> "list[dict]":
+        """Drive the engine over an iterable of JSONL request lines.
+
+        Malformed JSON lines degrade to failure objects (the stream
+        keeps flowing — request isolation extends to parsing).  The
+        final flush drains whatever the batching window still holds.
+        """
+        results: "list[dict]" = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as error:
+                results.append({"id": None, "individual": None, "ok": False,
+                                "kind": "exception",
+                                "error_type": "JSONDecodeError",
+                                "message": str(error)})
+                continue
+            results.extend(self.handle(request))
+            results.extend(outcome_to_dict(outcome)
+                           for outcome in self.engine.poll())
+        results.extend(outcome_to_dict(outcome)
+                       for outcome in self.engine.flush())
+        return results
+
+    def demo_requests(self, limit: int | None = None) -> "list[dict]":
+        """One stored-tail request per served (individual, model) pair.
+
+        The smoke workload for ``ema-gnn serve --demo`` and CI: exercises
+        every shard without the caller needing any data on hand.
+        """
+        requests = []
+        for shard in self.shards:
+            for identifier, artifact in shard.artifacts.items():
+                if artifact.window_tail is None:
+                    continue
+                requests.append({"id": f"demo-{len(requests)}",
+                                 "individual": identifier,
+                                 "model": shard.model_name})
+        return requests[:limit] if limit is not None else requests

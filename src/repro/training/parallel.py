@@ -41,7 +41,7 @@ import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
 
@@ -55,7 +55,8 @@ from .faults import (ON_ERROR_MODES, CellFailure, CohortExecutionError,
 from .trainer import TrainerConfig
 
 __all__ = ["CohortCell", "GraphCache", "CohortCheckpoint", "ParallelConfig",
-           "execute_cell", "run_attempt", "run_cells"]
+           "FaultPolicy", "ExecutionPolicy", "execute_cell", "run_attempt",
+           "run_cells"]
 
 #: Supervision-loop poll interval while deadlines or backoffs are pending.
 _POLL_SECONDS = 0.1
@@ -99,6 +100,10 @@ class CohortCell:
     #: Default dtype captured at enumeration time; workers re-apply it so
     #: results are bit-identical to a serial run in the parent process.
     dtype: str
+    #: Attach the fitted ``state_dict`` to each repeat's result (the
+    #: serving store's export path).  Defaulted so cells pickled before
+    #: the field existed keep loading from old checkpoints.
+    export_state: bool = False
 
     def __post_init__(self):
         if len(self.graphs) != len(self.seeds):
@@ -125,7 +130,8 @@ def execute_cell(cell: CohortCell):
                        trainer_config=cell.trainer_config,
                        model_config=cell.model_config,
                        train_fraction=cell.train_fraction, seed=seed,
-                       export_learned_graph=cell.export_learned_graph)
+                       export_learned_graph=cell.export_learned_graph,
+                       export_state=cell.export_state)
         for graph, seed in zip(cell.graphs, cell.seeds)
     ]
     return aggregate_repeats(repeats)
@@ -233,24 +239,11 @@ class CohortCheckpoint:
 
 
 @dataclass
-class ParallelConfig:
-    """How :func:`run_cells` schedules a cohort.
+class FaultPolicy:
+    """What :func:`run_cells` does when a cell misbehaves.
 
     Parameters
     ----------
-    jobs:
-        Worker processes; ``1`` (default) runs serially in-process.
-        Results are bit-identical either way.
-    checkpoint:
-        A :class:`CohortCheckpoint` or a path to one.  Completed cells
-        found in it are reused; newly completed cells are appended.
-        Journaled failures are retried, not served.
-    progress:
-        Optional ``(done, total, label, eta_seconds)`` callback invoked
-        after every cell (``eta_seconds`` is ``None`` until estimable).
-        Checkpoint-served cells complete in microseconds and are excluded
-        from the ETA rate, so a resumed run's estimate reflects the cells
-        it actually has to compute.
     retries:
         Extra attempts per cell after the first (default 0).  Exception,
         timeout and dead-worker retries re-run with the original seeds —
@@ -276,6 +269,37 @@ class ParallelConfig:
     fault_injector:
         Deterministic :class:`~repro.training.faults.FaultInjector` used
         by tests, benchmarks and the CI smoke job.
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    on_error: str = "raise"
+    retry_backoff: float = 0.5
+    divergence_reseed: bool = True
+    fault_injector: FaultInjector | None = None
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, "
+                             f"got {self.on_error!r}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}")
+
+
+@dataclass
+class ExecutionPolicy:
+    """Where and how :func:`run_cells` executes a cohort.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs serially in-process.
+        Results are bit-identical either way.
     backend:
         ``"process"`` (default) runs every cell per-individual, serially
         or across worker processes.  ``"stacked"`` first trains eligible
@@ -290,15 +314,6 @@ class ParallelConfig:
     """
 
     jobs: int = 1
-    checkpoint: CohortCheckpoint | str | Path | None = None
-    progress: Callable[[int, int, str, float | None], None] | None = field(
-        default=None, repr=False)
-    retries: int = 0
-    timeout: float | None = None
-    on_error: str = "raise"
-    retry_backoff: float = 0.5
-    divergence_reseed: bool = True
-    fault_injector: FaultInjector | None = None
     backend: str = "process"
     stack_size: int = 32
 
@@ -311,18 +326,157 @@ class ParallelConfig:
         if self.stack_size < 1:
             raise ValueError(
                 f"stack_size must be >= 1, got {self.stack_size}")
-        if self.retries < 0:
-            raise ValueError(f"retries must be >= 0, got {self.retries}")
-        if self.timeout is not None and self.timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {self.timeout}")
-        if self.on_error not in ON_ERROR_MODES:
-            raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, "
-                             f"got {self.on_error!r}")
-        if self.retry_backoff < 0:
-            raise ValueError(
-                f"retry_backoff must be >= 0, got {self.retry_backoff}")
-        if isinstance(self.checkpoint, (str, Path)):
-            self.checkpoint = CohortCheckpoint(self.checkpoint)
+
+
+#: Deprecated flat ``ParallelConfig`` keyword -> the policy that owns it
+#: now.  REPRO013 flags in-repo use of the flat forms.
+_FLAT_KEYWORD_HOMES = {
+    "jobs": "ExecutionPolicy", "backend": "ExecutionPolicy",
+    "stack_size": "ExecutionPolicy",
+    "retries": "FaultPolicy", "timeout": "FaultPolicy",
+    "on_error": "FaultPolicy", "retry_backoff": "FaultPolicy",
+    "divergence_reseed": "FaultPolicy", "fault_injector": "FaultPolicy",
+}
+
+#: Flat keywords already warned about this process (warn exactly once per
+#: keyword, the PR-4 ``gdt=``/``seed=`` migration discipline).
+_WARNED_FLAT_KEYWORDS: set = set()
+
+_UNSET = object()
+
+
+class ParallelConfig:
+    """How :func:`run_cells` schedules a cohort.
+
+    The scheduling knobs are grouped into two composable policies::
+
+        ParallelConfig(execution=ExecutionPolicy(jobs=8, backend="stacked"),
+                       faults=FaultPolicy(retries=2, on_error="collect"),
+                       checkpoint="run.ckpt")
+
+    Parameters
+    ----------
+    faults:
+        A :class:`FaultPolicy` (retry budget, per-cell timeout, error
+        disposition, fault injection).  Default: no retries, raise.
+    execution:
+        An :class:`ExecutionPolicy` (worker count, backend, stack size).
+        Default: serial per-individual execution.
+    checkpoint:
+        A :class:`CohortCheckpoint` or a path to one.  Completed cells
+        found in it are reused; newly completed cells are appended.
+        Journaled failures are retried, not served.
+    progress:
+        Optional ``(done, total, label, eta_seconds)`` callback invoked
+        after every cell (``eta_seconds`` is ``None`` until estimable).
+        Checkpoint-served cells complete in microseconds and are excluded
+        from the ETA rate, so a resumed run's estimate reflects the cells
+        it actually has to compute.
+    on_result:
+        Optional ``(cell, result)`` callback invoked for every
+        successfully completed cell — including checkpoint-served ones —
+        as it completes.  The serving layer streams trained artifacts
+        into the model store through this hook; failures never reach it.
+
+    The pre-split flat keywords (``jobs=``, ``retries=``, ``timeout=``,
+    ``on_error=``, ``retry_backoff=``, ``divergence_reseed=``,
+    ``fault_injector=``, ``backend=``, ``stack_size=``) still work and
+    forward into the matching policy, but emit a ``DeprecationWarning``
+    (once per keyword per process).  Flat *attribute* reads
+    (``config.jobs`` etc.) remain first-class — the scheduler uses them —
+    and are not deprecated.
+    """
+
+    def __init__(self, jobs=_UNSET, checkpoint=None, progress=None,
+                 retries=_UNSET, timeout=_UNSET, on_error=_UNSET,
+                 retry_backoff=_UNSET, divergence_reseed=_UNSET,
+                 fault_injector=_UNSET, backend=_UNSET, stack_size=_UNSET,
+                 *, faults: FaultPolicy | None = None,
+                 execution: ExecutionPolicy | None = None,
+                 on_result: Callable | None = None):
+        flat = {name: value for name, value in [
+            ("jobs", jobs), ("retries", retries), ("timeout", timeout),
+            ("on_error", on_error), ("retry_backoff", retry_backoff),
+            ("divergence_reseed", divergence_reseed),
+            ("fault_injector", fault_injector), ("backend", backend),
+            ("stack_size", stack_size)] if value is not _UNSET}
+        flat_execution = {k: v for k, v in flat.items()
+                          if _FLAT_KEYWORD_HOMES[k] == "ExecutionPolicy"}
+        flat_faults = {k: v for k, v in flat.items()
+                       if _FLAT_KEYWORD_HOMES[k] == "FaultPolicy"}
+        if execution is not None and flat_execution:
+            raise TypeError(
+                f"ParallelConfig got execution= and the flat keyword(s) "
+                f"{sorted(flat_execution)}; pass them on the "
+                f"ExecutionPolicy instead")
+        if faults is not None and flat_faults:
+            raise TypeError(
+                f"ParallelConfig got faults= and the flat keyword(s) "
+                f"{sorted(flat_faults)}; pass them on the FaultPolicy "
+                f"instead")
+        fresh = sorted(set(flat) - _WARNED_FLAT_KEYWORDS)
+        if fresh:
+            _WARNED_FLAT_KEYWORDS.update(fresh)
+            migrated = ", ".join(
+                f"{name}= (now {_FLAT_KEYWORD_HOMES[name]}.{name})"
+                for name in fresh)
+            warnings.warn(
+                f"flat ParallelConfig keyword(s) are deprecated: {migrated}; "
+                f"pass ParallelConfig(execution=ExecutionPolicy(...), "
+                f"faults=FaultPolicy(...)) instead",
+                DeprecationWarning, stacklevel=2)
+        self.execution = execution if execution is not None \
+            else ExecutionPolicy(**flat_execution)
+        self.faults = faults if faults is not None \
+            else FaultPolicy(**flat_faults)
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = CohortCheckpoint(checkpoint)
+        self.checkpoint = checkpoint
+        self.progress = progress
+        self.on_result = on_result
+
+    # Flat attribute access stays first-class: the scheduler (and user
+    # code inspecting a config) reads these without caring how the knobs
+    # were grouped at construction time.
+    @property
+    def jobs(self) -> int:
+        return self.execution.jobs
+
+    @property
+    def backend(self) -> str:
+        return self.execution.backend
+
+    @property
+    def stack_size(self) -> int:
+        return self.execution.stack_size
+
+    @property
+    def retries(self) -> int:
+        return self.faults.retries
+
+    @property
+    def timeout(self) -> float | None:
+        return self.faults.timeout
+
+    @property
+    def on_error(self) -> str:
+        return self.faults.on_error
+
+    @property
+    def retry_backoff(self) -> float:
+        return self.faults.retry_backoff
+
+    @property
+    def divergence_reseed(self) -> bool:
+        return self.faults.divergence_reseed
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self.faults.fault_injector
+
+    def __repr__(self) -> str:
+        return (f"ParallelConfig(execution={self.execution!r}, "
+                f"faults={self.faults!r}, checkpoint={self.checkpoint!r})")
 
 
 def run_attempt(cell: CohortCell, injector: FaultInjector | None,
@@ -456,6 +610,8 @@ def run_cells(cells: list[CohortCell],
                 pending.append(index)
                 continue
             results[index] = prior
+            if config.on_result is not None:
+                config.on_result(cell, prior)
             report(f"{cell.label} [checkpoint]", from_checkpoint=True)
         else:
             pending.append(index)
@@ -464,6 +620,8 @@ def run_cells(cells: list[CohortCell],
         results[index] = result
         if checkpoint is not None:
             checkpoint.record(cells[index].key, result)
+        if config.on_result is not None:
+            config.on_result(cells[index], result)
         report(cells[index].label)
 
     def make_failure(task: _Attempt, kind: str, error: BaseException | None,

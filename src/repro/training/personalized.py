@@ -30,7 +30,26 @@ from .seeding import derive_seed
 from .trainer import Trainer, TrainerConfig
 
 __all__ = ["IndividualResult", "run_individual", "run_cohort",
-           "enumerate_cells", "aggregate_repeats", "resolve_trainer_config"]
+           "enumerate_cells", "aggregate_repeats", "resolve_trainer_config",
+           "cell_config_digest"]
+
+
+def cell_config_digest(train_fraction: float, graph_kwargs: dict | None,
+                       trainer_config: TrainerConfig | None,
+                       model_config: ModelConfig | None) -> str:
+    """Digest of every cell-shaping input the legacy key fields miss.
+
+    Covers train fraction, graph kwargs and trainer/model config
+    identity, so a checkpoint journal written under different settings
+    can never serve a stale result for a colliding key.  The serving
+    store records the same digest per artifact, letting loaders reject
+    version skew with one comparison.  Frozen-dataclass reprs are
+    deterministic and cover every field, including nested CallbackSpecs.
+    """
+    kwargs_key = tuple(sorted((graph_kwargs or {}).items()))
+    return hashlib.sha1(repr(
+        (float(train_fraction), kwargs_key, trainer_config, model_config)
+    ).encode()).hexdigest()[:12]
 
 
 @dataclass
@@ -55,6 +74,11 @@ class IndividualResult:
     #: static verdict when :func:`~repro.training.parallel.run_cells`
     #: pre-routed the cell around a doomed capture attempt.
     fallback_reason: str | None = None
+    #: Trained model weights (``Module.state_dict``) when the run was
+    #: enumerated with ``export_state=True`` — the payload the serving
+    #: model store (:mod:`repro.serving`) persists.  ``None`` otherwise so
+    #: ordinary experiment results stay lightweight.
+    state: dict | None = field(default=None, repr=False)
 
     @property
     def diverged(self) -> bool:
@@ -85,6 +109,7 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
                    train_fraction: float = 0.7,
                    seed: int = 0,
                    export_learned_graph: bool = False,
+                   export_state: bool = False,
                    callbacks: list | None = None) -> IndividualResult:
     """Train and evaluate one (individual, model, graph) cell.
 
@@ -95,19 +120,32 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
     *live* :class:`~repro.training.callbacks.Callback` instances for
     in-process observers; those cannot cross process boundaries and are
     therefore not part of :func:`enumerate_cells`'s cell payload.
+
+    ``export_state`` attaches the fitted ``state_dict`` to the result so
+    the serving store can persist the cohort.  Closed-form models (VAR,
+    naive-mean) fit via ``fit_windows`` instead of the gradient trainer,
+    which makes the whole registry reachable through one cohort loop.
     """
+    from ..models.registry import MODEL_REGISTRY
+
     split = split_windows(individual.values, seq_len, train_fraction)
     model = create_model(model_name, individual.num_variables, seq_len,
                          adjacency=graph, config=model_config, seed=seed)
     trainer = Trainer(resolve_trainer_config(model_name, trainer_config))
-    history = trainer.fit(model, split.train, callbacks=callbacks)
+    spec = MODEL_REGISTRY.get(model_name.lower())
+    if spec is not None and spec.family == "closed-form":
+        model.fit_windows(split.train)
+        history = None
+        fallback = None
+    else:
+        history = trainer.fit(model, split.train, callbacks=callbacks)
+        fallback = trainer.last_jit.disabled_reason \
+            if trainer.last_jit is not None else None
     test_mse = trainer.evaluate(model, split.test)
     train_mse = trainer.evaluate(model, split.train)
     learned = None
     if export_learned_graph and isinstance(model, MTGNN):
         learned = model.learned_graph()
-    fallback = trainer.last_jit.disabled_reason \
-        if trainer.last_jit is not None else None
     return IndividualResult(
         identifier=individual.identifier,
         model_name=model_name,
@@ -118,6 +156,7 @@ def run_individual(individual: Individual, model_name: str, seq_len: int,
         static_graph=graph,
         history=history,
         fallback_reason=fallback,
+        state=model.state_dict() if export_state else None,
     )
 
 
@@ -167,6 +206,7 @@ def aggregate_repeats(repeats: list[IndividualResult]) -> IndividualResult:
         fallback_reason=next(
             (r.fallback_reason for r in repeats
              if r.fallback_reason is not None), None),
+        state=repeats[0].state,
     )
 
 
@@ -181,6 +221,7 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
                     num_random_repeats: int = 5,
                     graph_kwargs: dict | None = None,
                     export_learned_graphs: bool = False,
+                    export_state: bool = False,
                     graph_cache: GraphCache | None = None) -> list[CohortCell]:
     """Expand one cohort condition into its independent work items.
 
@@ -193,14 +234,8 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
     cache = graph_cache if graph_cache is not None else GraphCache()
     kwargs_key = tuple(sorted(graph_kwargs.items()))
     dtype = np.dtype(get_default_dtype()).name
-    # Digest of every cell-shaping input the legacy key fields miss
-    # (train fraction, graph kwargs, trainer/model config identity), so a
-    # checkpoint journal written under different settings can never serve
-    # a stale result for a colliding key.  Frozen-dataclass reprs are
-    # deterministic and cover every field, including nested CallbackSpecs.
-    config_digest = hashlib.sha1(repr(
-        (float(train_fraction), kwargs_key, trainer_config, model_config)
-    ).encode()).hexdigest()[:12]
+    config_digest = cell_config_digest(train_fraction, graph_kwargs,
+                                       trainer_config, model_config)
     cells: list[CohortCell] = []
     for individual in dataset:
         # Graph construction truncates the recording at the same boundary
@@ -242,6 +277,11 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
             individual.identifier, model_name, graph_method, seq_len,
             keep_fraction, base_seed, len(candidate_graphs),
             export_learned_graphs, config_digest))
+        if export_state:
+            # Appended (rather than a new positional slot) so checkpoints
+            # journaled before the field existed keep their keys — but a
+            # weight-exporting run can never be served a stateless result.
+            key += "|state"
         cells.append(CohortCell(
             key=key,
             label=f"{model_name}:{graph_method} seq{seq_len} "
@@ -257,6 +297,7 @@ def enumerate_cells(dataset: EMADataset, model_name: str, seq_len: int,
             train_fraction=train_fraction,
             export_learned_graph=export_learned_graphs,
             dtype=dtype,
+            export_state=export_state,
         ))
     return cells
 
@@ -272,6 +313,7 @@ def run_cohort(dataset: EMADataset, model_name: str, seq_len: int,
                num_random_repeats: int = 5,
                graph_kwargs: dict | None = None,
                export_learned_graphs: bool = False,
+               export_state: bool = False,
                parallel: ParallelConfig | None = None,
                graph_cache: GraphCache | None = None) -> list[IndividualResult]:
     """Run one table cell: a model/graph condition across the whole cohort.
@@ -306,5 +348,6 @@ def run_cohort(dataset: EMADataset, model_name: str, seq_len: int,
         trainer_config=trainer_config, model_config=model_config,
         train_fraction=train_fraction, base_seed=base_seed,
         num_random_repeats=num_random_repeats, graph_kwargs=graph_kwargs,
-        export_learned_graphs=export_learned_graphs, graph_cache=graph_cache)
+        export_learned_graphs=export_learned_graphs,
+        export_state=export_state, graph_cache=graph_cache)
     return run_cells(cells, parallel)

@@ -632,6 +632,9 @@ def _execute_stack(lanes: list[_Lane],
             learned_graph=None,
             static_graph=lane.graph,
             history=histories[k],
+            # The scatter above already loaded this lane's trained rows
+            # into the solo model, so its state_dict is the export.
+            state=model.state_dict() if lane.cell.export_state else None,
         )
         outcomes.append((result, needs_solo[k]))
     return outcomes

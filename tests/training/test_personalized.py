@@ -1,8 +1,15 @@
-"""Integration tests for the per-individual cohort loop (reduced scale)."""
+"""Integration tests for the per-individual cohort loop (reduced scale).
+
+The generic end-to-end checks go through the stable facade
+(``repro.fit_cohort``); tests probing loop-specific semantics (random
+repeats, provided graphs, per-model trainer defaults) keep driving
+``run_cohort``/``run_individual`` directly.
+"""
 
 import numpy as np
 import pytest
 
+import repro
 from repro.data import PreprocessingPipeline, SynthesisConfig, generate_cohort
 from repro.models import ModelConfig
 from repro.training import TrainerConfig, run_cohort, run_individual
@@ -48,19 +55,20 @@ class TestRunIndividual:
 
 class TestRunCohort:
     def test_one_result_per_individual(self, mini_cohort):
-        results = run_cohort(mini_cohort, "lstm", 2,
-                             trainer_config=FAST_TRAINER,
-                             model_config=FAST_MODEL)
-        assert [r.identifier for r in results] == \
+        handle = repro.fit_cohort(mini_cohort, "lstm", 2,
+                                  trainer_config=FAST_TRAINER,
+                                  model_config=FAST_MODEL)
+        assert [r.identifier for r in handle.results] == \
             [i.identifier for i in mini_cohort]
 
     def test_deterministic(self, mini_cohort):
-        kwargs = dict(graph_method="correlation", keep_fraction=0.4,
+        kwargs = dict(graph_method="correlation", gdt=0.4,
                       trainer_config=FAST_TRAINER, model_config=FAST_MODEL,
-                      base_seed=3)
-        a = run_cohort(mini_cohort, "a3tgcn", 2, **kwargs)
-        b = run_cohort(mini_cohort, "a3tgcn", 2, **kwargs)
-        assert [r.test_mse for r in a] == [r.test_mse for r in b]
+                      seed=3)
+        a = repro.fit_cohort(mini_cohort, "a3tgcn", 2, **kwargs)
+        b = repro.fit_cohort(mini_cohort, "a3tgcn", 2, **kwargs)
+        assert [r.test_mse for r in a.results] == \
+            [r.test_mse for r in b.results]
 
     def test_random_graphs_averaged(self, mini_cohort):
         results = run_cohort(mini_cohort, "a3tgcn", 2, graph_method="random",
