@@ -81,6 +81,8 @@ _ENTRIES = (
            "op #{i} ({op}) has no replay rule"),
     Hazard("lane-propagate-changed", "REPRO011",
            "lane_propagate operator stack changed between captured epochs"),
+    Hazard("csr-operator-changed", "REPRO011",
+           "csr_matmul sparse operator changed between captured epochs"),
     Hazard("const-annotation-changed", "REPRO011",
            "constant annotation changed between epochs"),
     Hazard("const-provider-changed", "REPRO011",
@@ -135,6 +137,9 @@ _ENTRIES = (
            "loss {loss!r} has no lane-wise form"),
     Hazard("stack-callbacks", "REPRO012",
            "callbacks {unsupported} are not lane-maskable"),
+    Hazard("stack-sparse", "REPRO012",
+           "sparse graph propagation (mode {mode!r}) has no stacked "
+           "lane-exact form; cell runs per-individual"),
 )
 
 HAZARDS: dict[str, Hazard] = {entry.key: entry for entry in _ENTRIES}
@@ -177,7 +182,7 @@ REPLAYABLE_OPS = frozenset({
     "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "abs",
     "sum", "reshape", "transpose", "__getitem__", "__matmul__",
     "concat", "stack", "where",
-    "lane_matmul", "lane_bias_add", "lane_propagate",
+    "lane_matmul", "lane_bias_add", "lane_propagate", "csr_matmul",
 })
 
 #: Tensor primitives with *no* replay rule — a forward that records one of

@@ -14,6 +14,7 @@ from .dtw import dtw_adjacency, dtw_distance, pairwise_dtw
 from .euclidean import euclidean_adjacency, pairwise_euclidean
 from .extended import (cosine_adjacency, mutual_information_adjacency,
                        partial_correlation_adjacency)
+from .glasso import graphical_lasso_adjacency, graphical_lasso_precision
 from .knn import knn_adjacency, knn_from_similarity
 from .learned import prepare_learned_graph
 from .properties import degree_stats, graph_correlation, is_symmetric, summarize
@@ -27,6 +28,7 @@ __all__ = [
     "GRAPH_REGISTRY", "get_graph_builder", "register_graph_method",
     "cosine_adjacency", "partial_correlation_adjacency",
     "mutual_information_adjacency",
+    "graphical_lasso_adjacency", "graphical_lasso_precision",
     "CommunityReport", "detect_communities", "adjusted_rand_index",
     "correlation_adjacency", "correlation_matrix",
     "dtw_adjacency", "dtw_distance", "pairwise_dtw",

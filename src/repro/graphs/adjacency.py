@@ -19,6 +19,7 @@ from .dtw import dtw_adjacency
 from .euclidean import euclidean_adjacency
 from .extended import (cosine_adjacency, mutual_information_adjacency,
                        partial_correlation_adjacency)
+from .glasso import graphical_lasso_adjacency
 from .knn import knn_adjacency
 from .registry import get_graph_builder
 
@@ -37,6 +38,7 @@ class GraphMethod:
     # Extended metrics (paper section VII-C, future work):
     COSINE = "cosine"
     PARTIAL_CORRELATION = "partial_correlation"
+    GRAPHICAL_LASSO = "graphical_lasso"
     MUTUAL_INFORMATION = "mutual_information"
 
     #: Paper-style abbreviations for table rendering.
@@ -49,6 +51,7 @@ class GraphMethod:
         LEARNED: "learned",
         COSINE: "COS",
         PARTIAL_CORRELATION: "PCORR",
+        GRAPHICAL_LASSO: "GLASSO",
         MUTUAL_INFORMATION: "MI",
     }
 
@@ -64,6 +67,7 @@ STATIC_METHODS: dict[str, Callable[..., np.ndarray]] = {
 EXTENDED_METHODS: dict[str, Callable[..., np.ndarray]] = {
     GraphMethod.COSINE: cosine_adjacency,
     GraphMethod.PARTIAL_CORRELATION: partial_correlation_adjacency,
+    GraphMethod.GRAPHICAL_LASSO: graphical_lasso_adjacency,
     GraphMethod.MUTUAL_INFORMATION: mutual_information_adjacency,
 }
 
@@ -87,7 +91,8 @@ def build_adjacency(series: np.ndarray, method: str, *legacy,
         Individual EMA data, time on axis 0.
     method:
         Any registered method: ``euclidean | knn | dtw | correlation |
-        cosine | partial_correlation | mutual_information | random``.
+        cosine | partial_correlation | graphical_lasso |
+        mutual_information | random``.
     gdt:
         Graph density threshold; applied after construction (default 1.0).
     seed:

@@ -70,6 +70,19 @@ def partial_correlation_adjacency(series: np.ndarray, *args,
     corr = correlation_matrix(series)
     v = corr.shape[0]
     shrunk = (1.0 - shrinkage) * corr + shrinkage * np.eye(v)
+    # A rank-deficient correlation matrix (guaranteed when V > T, EMA's
+    # short-series regime) does not reliably raise from np.linalg.inv —
+    # it can "invert" to garbage — so check definiteness explicitly.
+    eigenvalues = np.linalg.eigvalsh(shrunk)
+    if eigenvalues[0] <= v * np.finfo(np.float64).eps * max(eigenvalues[-1],
+                                                            1.0):
+        t = np.asarray(series).shape[0]
+        raise ValueError(
+            f"correlation matrix is singular and cannot be inverted "
+            f"(V={v} variables, T={t} observations"
+            f"{', V > T' if v > t else ''}, shrinkage={shrinkage}); "
+            f"pass shrinkage > 0 to regularize the estimate, e.g. "
+            f"shrinkage=0.1")
     precision = np.linalg.inv(shrunk)
     diag = np.sqrt(np.diag(precision))
     partial = -precision / np.outer(diag, diag)

@@ -24,6 +24,7 @@ from .dtw import dtw_adjacency
 from .euclidean import euclidean_adjacency
 from .extended import (cosine_adjacency, mutual_information_adjacency,
                        partial_correlation_adjacency)
+from .glasso import graphical_lasso_adjacency
 from .knn import knn_adjacency
 from .random_graph import random_adjacency
 from .sparsify import sparsify
@@ -98,6 +99,7 @@ for _name, _metric in (
         ("correlation", correlation_adjacency),
         ("cosine", cosine_adjacency),
         ("partial_correlation", partial_correlation_adjacency),
+        ("graphical_lasso", graphical_lasso_adjacency),
         ("mutual_information", mutual_information_adjacency),
 ):
     register_graph_method(_name, _uniform_metric_builder(_name, _metric))

@@ -15,8 +15,9 @@ __all__ = ["sparsify", "density"]
 def sparsify(adjacency: np.ndarray, keep_fraction: float) -> np.ndarray:
     """Keep the top ``keep_fraction`` of undirected edges by weight.
 
-    ``keep_fraction`` is the GDT: 1.0 returns the graph unchanged, 0.2 keeps
-    the strongest 20 % of currently-present edges (ties broken by index
+    ``keep_fraction`` is the GDT: 1.0 keeps every edge (symmetrized, with
+    the diagonal zeroed, like every other fraction), 0.2 keeps the
+    strongest 20 % of currently-present edges (ties broken by index
     order, deterministically).  Strength is the *magnitude* of the
     symmetrized weight, so a strong negative association outranks a weak
     positive one; kept edges retain their signed weight.
@@ -27,7 +28,7 @@ def sparsify(adjacency: np.ndarray, keep_fraction: float) -> np.ndarray:
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ValueError(f"adjacency must be square, got {a.shape}")
     if keep_fraction == 1.0:
-        out = a.copy()
+        out = (a + a.T) / 2.0
         np.fill_diagonal(out, 0.0)
         return out
     sym = (a + a.T) / 2.0
@@ -46,10 +47,15 @@ def sparsify(adjacency: np.ndarray, keep_fraction: float) -> np.ndarray:
 
 
 def density(adjacency: np.ndarray) -> float:
-    """Fraction of possible undirected edges that are present (weight > 0)."""
+    """Fraction of possible undirected edges with nonzero weight.
+
+    Counts edge *magnitude*, matching :func:`sparsify`'s ranking: a
+    negative-weight edge (e.g. an anticorrelation kept by signed graph
+    builders) is present, not absent.
+    """
     a = np.asarray(adjacency)
     n = a.shape[0]
     if n < 2:
         return 0.0
     upper = np.triu((a + a.T) / 2.0, k=1)
-    return float((upper > 0).sum()) / (n * (n - 1) / 2)
+    return float((np.abs(upper) > 0).sum()) / (n * (n - 1) / 2)

@@ -18,9 +18,11 @@ import numpy as np
 from ..autodiff import Tensor, normalize_adjacency
 from . import init
 from .container import ModuleList
-from .graphcache import cached_chebyshev_basis, cached_normalized_adjacency
+from .graphcache import (cached_chebyshev_basis, cached_normalized_adjacency,
+                         cached_sparse_chebyshev, cached_sparse_normalized)
 from .linear import Linear
 from .module import Module, Parameter
+from .sparse import CSRMatrix, csr_matmul, should_use_sparse
 from .stacked_ops import lane_affine, lane_propagate
 
 __all__ = ["GCNConv", "ChebConv", "MixHopPropagation", "GraphLearner",
@@ -69,14 +71,28 @@ class GCNConv(Module):
         graph cache: within an experiment the same individual graph is
         reused across models and sequence lengths, so the normalization
         runs once per distinct adjacency instead of once per model.
+
+        The dense/sparse routing decision is made here, once per graph
+        swap rather than per forward: if the autoswitch
+        (:func:`repro.nn.sparse.should_use_sparse`, honoring the
+        process-wide sparse mode) routes sparse, the CSR factorization of
+        the *same* cached operator is fetched and propagation runs
+        through :func:`repro.nn.sparse.csr_matmul`.
         """
-        self._propagation = Tensor(cached_normalized_adjacency(adjacency))
-        self.num_nodes = self._propagation.shape[0]
+        dense = cached_normalized_adjacency(adjacency)
+        self._propagation = Tensor(dense)
+        self.num_nodes = dense.shape[0]
+        self._sparse = None
+        density = np.count_nonzero(dense) / dense.size
+        if should_use_sparse(self.num_nodes, density, dense.dtype):
+            self._sparse = cached_sparse_normalized(adjacency)
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-2] != self.num_nodes or x.shape[-1] != self.in_features:
             raise ValueError(
                 f"GCNConv expects (..., {self.num_nodes}, {self.in_features}), got {x.shape}")
+        if self._sparse is not None:
+            return self.linear(csr_matmul(self._sparse, x))
         return self.linear(self._propagation @ x)
 
 
@@ -147,6 +163,19 @@ class ChebConv(Module):
         basis = cached_chebyshev_basis(adjacency, self.order)
         self._basis = [Tensor(t) for t in basis]
         self.num_nodes = basis[0].shape[0]
+        # Per-term autoswitch: T_0 is the identity (density 1/V) and low
+        # orders can stay sparse, but higher powers of the Laplacian fill
+        # in, so each basis term routes independently.  should_use_sparse
+        # with density 0 is the most favorable case — if even that stays
+        # dense (mode "never" or below the node floor), skip the CSR
+        # factorization entirely.
+        self._sparse_basis: list[CSRMatrix | None] = [None] * self.order
+        if should_use_sparse(self.num_nodes, 0.0, basis[0].dtype):
+            self._sparse_basis = [
+                term if should_use_sparse(self.num_nodes,
+                                          term.structural_density, term.dtype)
+                else None
+                for term in cached_sparse_chebyshev(adjacency, self.order)]
 
     def forward(self, x: Tensor, spatial_attention: Tensor | None = None) -> Tensor:
         """Apply the convolution; supports window-batched inputs.
@@ -170,9 +199,15 @@ class ChebConv(Module):
             extra = x.ndim - attention.ndim
             attention = attention.reshape(batch, *([1] * extra), n, n)
         out = None
-        for t_k, linear in zip(self._basis, self.weights):
-            operator = t_k if attention is None else t_k * attention
-            term = linear(operator @ x)
+        for t_k, sparse_k, linear in zip(self._basis, self._sparse_basis,
+                                         self.weights):
+            if attention is None and sparse_k is not None:
+                term = linear(csr_matmul(sparse_k, x))
+            else:
+                # The attention-modulated operator is per-sample and
+                # dense-valued, so that path never routes sparse.
+                operator = t_k if attention is None else t_k * attention
+                term = linear(operator @ x)
             out = term if out is None else out + term
         return out
 
@@ -213,7 +248,7 @@ class MixHopPropagation(Module):
         return a / degree
 
     def forward(self, x: Tensor, adjacency: Tensor | np.ndarray | None = None,
-                *, propagation: Tensor | None = None) -> Tensor:
+                *, propagation: Tensor | CSRMatrix | None = None) -> Tensor:
         """Propagate ``x`` over ``adjacency`` (normalized here) or over a
         precomputed ``propagation`` operator.
 
@@ -222,8 +257,12 @@ class MixHopPropagation(Module):
         ``(A + I) / rowsum`` once via
         :func:`repro.nn.graphcache.cached_row_normalized`, which performs
         the identical arithmetic, instead of re-deriving it every forward
-        pass of every epoch.  The learned-graph path keeps passing
-        ``adjacency`` so gradients flow through the normalization.
+        pass of every epoch.  It may also be a
+        :class:`~repro.nn.sparse.CSRMatrix` (the autoswitch-routed static
+        path, see :meth:`repro.models.mtgnn.MTGNN._static_propagations`),
+        in which case each hop runs through
+        :func:`~repro.nn.sparse.csr_matmul`.  The learned-graph path keeps
+        passing ``adjacency`` so gradients flow through the normalization.
         """
         if propagation is None:
             if adjacency is None:
@@ -237,10 +276,13 @@ class MixHopPropagation(Module):
                 adjacency = Tensor(  # repro: noqa[REPRO011]
                     np.asarray(adjacency, dtype=get_default_dtype()))
             propagation = self._row_normalize(adjacency)
+        sparse = isinstance(propagation, CSRMatrix)
         hidden = x
         out = self.weights[0](x)
         for k in range(1, self.depth + 1):
-            hidden = x * self.beta + (propagation @ hidden) * (1.0 - self.beta)
+            hop = (csr_matmul(propagation, hidden) if sparse
+                   else propagation @ hidden)
+            hidden = x * self.beta + hop * (1.0 - self.beta)
             out = out + self.weights[k](hidden)
         return out
 

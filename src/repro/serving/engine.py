@@ -150,6 +150,7 @@ class InferenceEngine:
         self._pending: "list[ForecastRequest]" = []
         self._solo_cache: "dict[tuple[str, str], object]" = {}
         self._stack_cache: "OrderedDict[tuple, OrderedDict]" = OrderedDict()
+        self._sparse_verdicts: "dict[tuple, bool]" = {}
         self._seq = itertools.count()
         self.stats = {"submitted": 0, "served": 0, "batched": 0,
                       "eager": 0, "failed": 0, "flushes": 0}
@@ -327,7 +328,39 @@ class InferenceEngine:
         if shard.verdict is not None and not shard.verdict.get("stackable",
                                                                True):
             return False
+        if shard.model_name != "lstm" and self._sparse_routed(shard):
+            return False
         return True
+
+    def _sparse_routed(self, shard: CohortShard) -> bool:
+        """Whether any of the shard's graphs routes through the CSR path.
+
+        The batched lane forward is dense-only, while a solo model routes
+        per the sparse autoswitch; mixing the two would break the
+        solo == batched bitwise contract, so such shards serve eagerly.
+        Memoized per (shard, mode): the verdict depends only on the
+        stored graphs and the process-wide sparse mode.
+        """
+        from ..nn.sparse import get_sparse_mode, should_use_sparse
+
+        mode = get_sparse_mode()
+        if mode == "never":
+            return False
+        key = (shard.version, shard.model_name, shard.dtype, mode)
+        cached = self._sparse_verdicts.get(key)
+        if cached is None:
+            cached = False
+            for artifact in shard.artifacts.values():
+                if artifact.adjacency is None:
+                    continue
+                graph = np.asarray(artifact.adjacency)
+                v = graph.shape[0]
+                nnz = np.count_nonzero((graph != 0) | np.eye(v, dtype=bool))
+                if should_use_sparse(v, nnz / (v * v), shard.dtype, mode):
+                    cached = True
+                    break
+            self._sparse_verdicts[key] = cached
+        return cached
 
     def _run_group(self, shard: CohortShard,
                    requests: "list[ForecastRequest]") -> "list":

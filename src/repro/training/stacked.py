@@ -112,6 +112,26 @@ def stackable_reason(cell: "CohortCell") -> str | None:
                          - set(_LANE_CALLBACKS))
     if unsupported:
         return _reason("stack-callbacks", unsupported=unsupported)
+    mode = getattr(cell, "sparse", "auto")
+    if cell.model_name != "lstm" and mode != "never":
+        # The stacked lane ops are dense-only; a cell whose graph would
+        # route through the CSR path in solo execution must stay solo, or
+        # the solo == stacked bitwise contract would compare a sparse
+        # forward against a dense one.
+        from ..nn.sparse import should_use_sparse
+
+        # Static probes (analysis.fastpath) carry no graphs: routing is
+        # then a per-cell runtime property, not a model-level blocker.
+        for graph in getattr(cell, "graphs", ()):
+            if graph is None:
+                continue
+            graph = np.asarray(graph)
+            v = graph.shape[0]
+            # Zero pattern of the normalized GCN propagation operator:
+            # the graph's nonzeros plus the self-loop diagonal.
+            nnz = np.count_nonzero((graph != 0) | np.eye(v, dtype=bool))
+            if should_use_sparse(v, nnz / (v * v), cell.dtype, mode):
+                return _reason("stack-sparse", mode=mode)
     return None
 
 

@@ -87,7 +87,7 @@ _SAMPLE_FIELDS = {
     "before": "(7, 5) float64", "after": "(7, 6) float64",
     "error": "boom", "model": "astgcn", "optimizer": "sgd",
     "loss": "quantile", "extra": "('momentum',)",
-    "unsupported": "('lr-plateau',)",
+    "unsupported": "('lr-plateau',)", "mode": "always",
 }
 
 

@@ -11,6 +11,7 @@ restore that after every test.
 import pytest
 
 import repro.autodiff as ad
+from repro.nn import sparse as nn_sparse
 
 
 @pytest.fixture(scope="session")
@@ -22,3 +23,16 @@ def _session_default_dtype():
 def _restore_default_dtype(_session_default_dtype):
     yield
     ad.set_default_dtype(_session_default_dtype)
+
+
+@pytest.fixture(scope="session")
+def _session_sparse_mode():
+    return nn_sparse.get_sparse_mode()
+
+
+@pytest.fixture(autouse=True)
+def _restore_sparse_mode(_session_sparse_mode):
+    # Same rationale as the dtype snapshot: experiment runners may switch
+    # the process-wide sparse routing mode (ExperimentConfig.apply_sparse).
+    yield
+    nn_sparse.set_sparse_mode(_session_sparse_mode)

@@ -69,6 +69,17 @@ class TestPartialCorrelation:
         with pytest.raises(ValueError):
             partial_correlation_adjacency(series(), shrinkage=1.0)
 
+    def test_singular_matrix_names_shrinkage_remedy(self):
+        # Regression: V > T (EMA's short-series regime) with shrinkage=0
+        # makes the correlation matrix exactly singular, which surfaced
+        # as an opaque LinAlgError from np.linalg.inv.
+        x = series(t=4, v=8, seed=10)
+        with pytest.raises(ValueError, match="shrinkage"):
+            partial_correlation_adjacency(x, shrinkage=0.0)
+        # The documented remedy works on the same input.
+        a = partial_correlation_adjacency(x, shrinkage=0.1)
+        assert np.isfinite(a).all()
+
     @settings(max_examples=15, deadline=None)
     @given(hnp.arrays(np.float64, (25, 4), elements=st.floats(-10, 10)))
     def test_property_finite(self, x):

@@ -81,6 +81,19 @@ class TestSparsify:
         with pytest.raises(ValueError):
             sparsify(dense_graph(), 1.5)
 
+    def test_keep_all_symmetrizes_like_every_other_fraction(self):
+        # Regression: the keep_fraction=1.0 early return skipped the
+        # (a + a.T) / 2 symmetrization every other GDT value applies.
+        rng = np.random.default_rng(21)
+        asymmetric = rng.random((6, 6))     # deliberately not symmetric
+        out = sparsify(asymmetric, 1.0)
+        assert is_symmetric(out)
+        # Just below 1.0 every edge still survives rounding; the two
+        # results must agree exactly.
+        eps = 1e-9
+        np.testing.assert_array_equal(out,
+                                      sparsify(asymmetric, 1.0 - eps))
+
     @settings(max_examples=25, deadline=None)
     @given(st.floats(0.05, 1.0))
     def test_property_monotone_edge_count(self, frac):
@@ -188,6 +201,17 @@ class TestProperties:
     def test_density_of_empty_and_full(self):
         assert density(np.zeros((5, 5))) == 0.0
         assert density(dense_graph(5, seed=17)) == pytest.approx(1.0)
+
+    def test_density_counts_negative_edges(self):
+        # Regression: `upper > 0` silently dropped the negative-weight
+        # edges sparsify deliberately keeps, underreporting density on
+        # signed graphs.
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 0] = -0.9
+        a[2, 3] = a[3, 2] = 0.4
+        assert density(a) == pytest.approx(2 / 6)
+        signed = sparsify(a, 1.0)
+        assert density(signed) == pytest.approx(2 / 6)
 
     def test_degree_stats_keys(self):
         stats = degree_stats(dense_graph(seed=18))
